@@ -1,0 +1,151 @@
+// Package cachegenie is a Go reproduction of CacheGenie (Gupta, Zeldovich,
+// Madden — "A Trigger-Based Middleware Cache for ORMs", Middleware 2011): a
+// caching middleware that gives ORM applications declarative caching
+// abstractions and keeps the cache consistent automatically with database
+// triggers.
+//
+// The package re-exports the user-facing API of the internal packages:
+//
+//   - the database engine (sqldb): a relational engine with a SQL subset,
+//     B+tree indexes, a buffer pool over a simulated disk, transactions, and
+//     row-level AFTER triggers — the stack's PostgreSQL;
+//   - the cache (kvcache): a memcached-semantics LRU store with CAS, plus a
+//     TCP text protocol (cacheproto) and a consistent-hash cluster client
+//     (cluster);
+//   - the ORM (orm): Django-flavoured models and QuerySets with the read
+//     interception hook;
+//   - the middleware itself (core): cache classes — FeatureQuery,
+//     LinkQuery, CountQuery, TopKQuery — declared via Cacheable, with
+//     invalidate / update-in-place / TTL consistency strategies;
+//   - the §3.3 transactional-cache extension (txcache) and the GlobeCBC
+//     template-invalidation baseline (templateinv);
+//   - the evaluation workload (social, workload) reproducing the paper's
+//     Pinax experiments.
+//
+// Quick start
+//
+//	db := cachegenie.OpenDB(cachegenie.DBConfig{})
+//	reg := cachegenie.NewRegistry(db)
+//	reg.MustRegister(&cachegenie.ModelDef{
+//		Name: "Profile", Table: "profiles",
+//		Fields: []cachegenie.FieldDef{
+//			{Name: "user_id", Type: cachegenie.TypeInt, NotNull: true},
+//			{Name: "bio", Type: cachegenie.TypeText},
+//		},
+//		Indexes: [][]string{{"user_id"}},
+//	})
+//	_ = reg.CreateTables()
+//
+//	genie, _ := cachegenie.New(cachegenie.Config{
+//		Registry: reg, DB: db, Cache: cachegenie.NewCache(64 << 20),
+//	})
+//	_, _ = genie.Cacheable(cachegenie.Spec{
+//		Name: "user_profile", Class: cachegenie.FeatureQuery,
+//		MainModel: "Profile", WhereFields: []string{"user_id"},
+//	})
+//
+//	// Application code is unchanged: reads are served from the cache,
+//	// writes go to the database and triggers keep the cache consistent.
+//	profile, _ := reg.Objects("Profile").Filter("user_id", 42).Get()
+//	_ = profile
+package cachegenie
+
+import (
+	"cachegenie/internal/core"
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/orm"
+	"cachegenie/internal/sqldb"
+)
+
+// Middleware API (internal/core).
+type (
+	// Genie is the CacheGenie middleware instance.
+	Genie = core.Genie
+	// Config wires a Genie into an application stack.
+	Config = core.Config
+	// Spec declares one cached object.
+	Spec = core.Spec
+	// Link configures a LinkQuery relationship chain.
+	Link = core.Link
+	// CachedObject is a declared cached object.
+	CachedObject = core.CachedObject
+	// Class identifies a cache class.
+	Class = core.Class
+	// Strategy is a cache-consistency strategy.
+	Strategy = core.Strategy
+)
+
+// Cache classes (paper §3.1).
+const (
+	FeatureQuery = core.FeatureQuery
+	LinkQuery    = core.LinkQuery
+	CountQuery   = core.CountQuery
+	TopKQuery    = core.TopKQuery
+)
+
+// Consistency strategies (paper §3.1).
+const (
+	UpdateInPlace = core.UpdateInPlace
+	Invalidate    = core.Invalidate
+	Expiry        = core.Expiry
+)
+
+// New creates a Genie and arms transparent interception on the registry.
+func New(cfg Config) (*Genie, error) { return core.New(cfg) }
+
+// ORM API (internal/orm).
+type (
+	// Registry holds models and dispatches reads through the interceptor.
+	Registry = orm.Registry
+	// ModelDef declares a model.
+	ModelDef = orm.ModelDef
+	// FieldDef declares one model field.
+	FieldDef = orm.FieldDef
+	// Fields is the write-side value bag for Insert/Update.
+	Fields = orm.Fields
+	// Object is one materialized model instance.
+	Object = orm.Object
+	// QuerySet is the chainable query builder.
+	QuerySet = orm.QuerySet
+)
+
+// NewRegistry creates an ORM registry over a database connection.
+func NewRegistry(conn orm.Conn) *Registry { return orm.NewRegistry(conn) }
+
+// Database engine API (internal/sqldb).
+type (
+	// DB is the relational database engine.
+	DB = sqldb.DB
+	// DBConfig configures the engine.
+	DBConfig = sqldb.Config
+	// Value is a typed SQL value.
+	Value = sqldb.Value
+	// Row is one table row.
+	Row = sqldb.Row
+	// Trigger is a row-level AFTER trigger.
+	Trigger = sqldb.Trigger
+)
+
+// Column types.
+const (
+	TypeInt   = sqldb.TypeInt
+	TypeFloat = sqldb.TypeFloat
+	TypeText  = sqldb.TypeText
+	TypeBool  = sqldb.TypeBool
+	TypeTime  = sqldb.TypeTime
+)
+
+// OpenDB creates a new empty database engine.
+func OpenDB(cfg DBConfig) *DB { return sqldb.Open(cfg) }
+
+// Cache API (internal/kvcache).
+type (
+	// CacheStore is the in-process memcached-semantics store.
+	CacheStore = kvcache.Store
+	// CacheInterface is the operation set CacheGenie needs from a cache.
+	CacheInterface = kvcache.Cache
+)
+
+// NewCache creates an in-process cache with the given byte capacity
+// (0 = unbounded).
+func NewCache(capacityBytes int64) *CacheStore { return kvcache.New(capacityBytes) }

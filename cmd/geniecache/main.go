@@ -1,0 +1,44 @@
+// Command geniecache runs the cache server: an in-memory LRU key-value
+// store speaking a memcached-style text protocol over TCP. It plays the
+// role of the paper's memcached 1.4.5 machine.
+//
+// Usage:
+//
+//	geniecache -addr :11311 -capacity 536870912
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cachegenie/internal/cacheproto"
+	"cachegenie/internal/kvcache"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:11311", "listen address")
+	capacity := flag.Int64("capacity", 512<<20, "cache capacity in bytes (0 = unbounded)")
+	flag.Parse()
+
+	store := kvcache.New(*capacity)
+	srv := cacheproto.NewServer(store)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("geniecache: %v", err)
+	}
+	fmt.Printf("geniecache listening on %s (capacity %d bytes)\n", bound, *capacity)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := store.Stats()
+	fmt.Printf("shutting down: %d items, %d bytes, hit rate %.2f\n",
+		st.Items, st.BytesUsed, st.HitRate())
+	if err := srv.Close(); err != nil {
+		log.Fatalf("geniecache: close: %v", err)
+	}
+}

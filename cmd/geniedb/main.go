@@ -1,0 +1,58 @@
+// Command geniedb runs the database engine as a standalone TCP server,
+// playing the role of the paper's PostgreSQL machine. Schemas are created
+// by clients over the wire.
+//
+// Usage:
+//
+//	geniedb -addr :15432 -pool-pages 4096 -disk-width 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cachegenie/internal/dbproto"
+	"cachegenie/internal/latency"
+	"cachegenie/internal/sqldb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:15432", "listen address")
+	poolPages := flag.Int("pool-pages", 4096, "buffer pool capacity in 8KiB pages")
+	diskWidth := flag.Int("disk-width", 2, "concurrent simulated-disk requests")
+	latencyScale := flag.Int("latency-scale", 0, "enable paper-calibrated latency model divided by this factor (0 = off)")
+	lockTimeout := flag.Duration("lock-timeout", 5*time.Second, "lock wait timeout")
+	flag.Parse()
+
+	var model latency.Model
+	if *latencyScale > 0 {
+		model = latency.PaperScaled(*latencyScale)
+	}
+	db := sqldb.Open(sqldb.Config{
+		BufferPoolPages: *poolPages,
+		DiskWidth:       *diskWidth,
+		Latency:         model,
+		LockTimeout:     *lockTimeout,
+	})
+	srv := dbproto.NewServer(db)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("geniedb: %v", err)
+	}
+	fmt.Printf("geniedb listening on %s (pool %d pages)\n", bound, *poolPages)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := db.Stats()
+	fmt.Printf("shutting down: %d selects, %d inserts, %d updates, %d deletes, %d triggers fired\n",
+		st.Selects, st.Inserts, st.Updates, st.Deletes, st.TriggersFired)
+	if err := srv.Close(); err != nil {
+		log.Fatalf("geniedb: close: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+// Command genieload regenerates the paper's evaluation (§5): every figure
+// and table is one -experiment target. Results print as aligned text
+// series; EXPERIMENTS.md records a reference run against the paper's
+// numbers.
+//
+// Usage:
+//
+//	genieload -experiment all            # everything (minutes)
+//	genieload -experiment exp1           # Fig 2a/2b client sweep
+//	genieload -experiment table2         # Table 2 per-page latency
+//	genieload -experiment exp2           # Fig 3a read/write mix
+//	genieload -experiment exp3           # Fig 3b zipf skew
+//	genieload -experiment exp4           # Fig 3c cache size
+//	genieload -experiment exp4b          # colocated-cache variant
+//	genieload -experiment exp5           # trigger overhead under load
+//	genieload -experiment micro          # §5.3 microbenchmarks
+//	genieload -experiment effort         # §5.2 programmer effort
+//	genieload -experiment ablation       # template-invalidation baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cachegenie/internal/workload"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, micro, effort, ablation)")
+	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	flag.Parse()
+
+	opt := workload.ExpOptions{LatencyScale: *scale, Quick: *quick, Out: os.Stdout}
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n== %s ==\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("-- %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	all := *experiment == "all"
+	matched := all
+
+	if all || *experiment == "micro" {
+		matched = true
+		run("§5.3 microbenchmarks", func() error {
+			ml, err := workload.MicroLookup(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("db B+tree lookup: %v   cache lookup: %v   ratio: %.1fx (paper: 10-25x)\n",
+				ml.DBLookup.Round(time.Microsecond), ml.CacheLookup.Round(time.Microsecond), ml.Ratio)
+			mt, err := workload.MicroTrigger(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("plain INSERT: %v   no-op trigger: %v (+%.0f%%)   trigger+connect: %v (+%.0f%%)   per cache op: %v\n",
+				mt.PlainInsert.Round(time.Microsecond), mt.NoopTrigger.Round(time.Microsecond), mt.NoopOverheadPct,
+				mt.ConnectTrigger.Round(time.Microsecond), mt.TotalOverheadPct,
+				mt.PerCacheOp.Round(time.Microsecond))
+			fmt.Println("(paper: 6.3ms plain, 6.5ms no-op, 11.9ms with connect, 0.2ms per op; overheads 3%-400%)")
+			return nil
+		})
+	}
+	if all || *experiment == "effort" {
+		matched = true
+		run("§5.2 programmer effort", func() error {
+			rep, err := workload.Effort()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cached objects declared : %d   (paper: 14)\n", rep.CachedObjects)
+			fmt.Printf("app lines changed       : %d cacheable(...) calls (paper: ~20 lines)\n", rep.AppLinesChanged)
+			fmt.Printf("triggers generated      : %d   (paper: 48)\n", rep.Triggers)
+			fmt.Printf("trigger source lines    : %d   (paper: ~1720)\n", rep.GeneratedLines)
+			return nil
+		})
+	}
+	if all || *experiment == "exp1" {
+		matched = true
+		run("Experiment 1 (Fig 2a/2b): throughput & latency vs clients", func() error {
+			_, err := workload.Exp1(opt, nil)
+			return err
+		})
+	}
+	if all || *experiment == "table2" {
+		matched = true
+		run("Table 2: per-page-type latency at 15 clients", func() error {
+			_, err := workload.Exp1PageTable(opt)
+			return err
+		})
+	}
+	if all || *experiment == "exp2" {
+		matched = true
+		run("Experiment 2 (Fig 3a): read/write mix", func() error {
+			_, err := workload.Exp2(opt, nil)
+			return err
+		})
+	}
+	if all || *experiment == "exp3" {
+		matched = true
+		run("Experiment 3 (Fig 3b): zipf skew", func() error {
+			_, err := workload.Exp3(opt, nil)
+			return err
+		})
+	}
+	if all || *experiment == "exp4" {
+		matched = true
+		run("Experiment 4 (Fig 3c): cache size", func() error {
+			_, err := workload.Exp4(opt, nil)
+			return err
+		})
+	}
+	if all || *experiment == "exp4b" {
+		matched = true
+		run("Experiment 4 variant: cache colocated with the database", func() error {
+			_, err := workload.Exp4Colocated(opt)
+			return err
+		})
+	}
+	if all || *experiment == "exp5" {
+		matched = true
+		run("Experiment 5: trigger overhead under load", func() error {
+			_, err := workload.Exp5(opt)
+			return err
+		})
+	}
+	if all || *experiment == "ablation" {
+		matched = true
+		run("Ablation: template-based invalidation baseline", func() error {
+			_, err := workload.AblationTemplateInvalidation(opt)
+			return err
+		})
+	}
+	if !matched {
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}

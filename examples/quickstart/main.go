@@ -1,0 +1,74 @@
+// Quickstart: declare one cached object and watch CacheGenie keep it
+// consistent through writes — no cache-management code in the application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cachegenie"
+)
+
+func main() {
+	// 1. A database and an ORM registry over it.
+	db := cachegenie.OpenDB(cachegenie.DBConfig{})
+	reg := cachegenie.NewRegistry(db)
+	reg.MustRegister(&cachegenie.ModelDef{
+		Name:  "Profile",
+		Table: "profiles",
+		Fields: []cachegenie.FieldDef{
+			{Name: "user_id", Type: cachegenie.TypeInt, NotNull: true},
+			{Name: "bio", Type: cachegenie.TypeText},
+		},
+		Indexes: [][]string{{"user_id"}},
+	})
+	if err := reg.CreateTables(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. CacheGenie wired between the ORM and a cache.
+	cache := cachegenie.NewCache(64 << 20)
+	genie, err := cachegenie.New(cachegenie.Config{Registry: reg, DB: db, Cache: cache})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. One declaration — this is the entire caching code.
+	if _, err := genie.Cacheable(cachegenie.Spec{
+		Name:        "user_profile",
+		Class:       cachegenie.FeatureQuery,
+		MainModel:   "Profile",
+		WhereFields: []string{"user_id"},
+		Strategy:    cachegenie.UpdateInPlace,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Application code — identical to the uncached version.
+	if _, err := reg.Insert("Profile", cachegenie.Fields{"user_id": 42, "bio": "hello world"}); err != nil {
+		log.Fatal(err)
+	}
+
+	read := func(tag string) {
+		p, err := reg.Objects("Profile").Filter("user_id", 42).Get()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s bio=%q\n", tag, p.Str("bio"))
+	}
+	read("first read (miss):") // populates the cache from the database
+	read("second read (hit):") // served from the cache
+
+	// A write goes to the database; the generated trigger updates the
+	// cached entry in place.
+	if _, err := reg.Objects("Profile").Filter("user_id", 42).
+		Update(cachegenie.Fields{"bio": "updated in place"}); err != nil {
+		log.Fatal(err)
+	}
+	read("read after write:") // still served from the cache, never stale
+
+	gs := genie.Stats()
+	ds := db.Stats()
+	fmt.Printf("\ncache hits=%d misses=%d trigger-updates=%d | db selects=%d\n",
+		gs.Hits, gs.Misses, gs.TriggerUpdates, ds.Selects)
+}

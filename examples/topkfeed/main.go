@@ -1,0 +1,92 @@
+// Topkfeed: the paper's running example (§3.2) — a wall of posts cached as
+// a TopKQuery. Shows incremental in-place updates on insert, reserve-backed
+// deletes, and the recompute fallback when the reserve runs out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cachegenie"
+)
+
+func main() {
+	db := cachegenie.OpenDB(cachegenie.DBConfig{})
+	reg := cachegenie.NewRegistry(db)
+	reg.MustRegister(&cachegenie.ModelDef{
+		Name:  "Wall",
+		Table: "wall",
+		Fields: []cachegenie.FieldDef{
+			{Name: "user_id", Type: cachegenie.TypeInt, NotNull: true},
+			{Name: "sender_id", Type: cachegenie.TypeInt},
+			{Name: "content", Type: cachegenie.TypeText},
+			{Name: "date_posted", Type: cachegenie.TypeTime},
+		},
+		Indexes: [][]string{{"user_id"}, {"user_id", "date_posted"}},
+	})
+	if err := reg.CreateTables(); err != nil {
+		log.Fatal(err)
+	}
+	genie, err := cachegenie.New(cachegenie.Config{
+		Registry: reg, DB: db, Cache: cachegenie.NewCache(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's cached-object declaration: latest 20 posts on a wall,
+	// with a small reserve for absorbing deletes.
+	if _, err := genie.Cacheable(cachegenie.Spec{
+		Name:        "latest_wall_posts",
+		Class:       cachegenie.TopKQuery,
+		MainModel:   "Wall",
+		WhereFields: []string{"user_id"},
+		SortField:   "date_posted",
+		SortDesc:    true,
+		K:           5, // small K so the demo output stays readable
+		Reserve:     2,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	base := time.Date(2011, 12, 1, 12, 0, 0, 0, time.UTC)
+	post := func(i int, content string) {
+		if _, err := reg.Insert("Wall", cachegenie.Fields{
+			"user_id": 42, "sender_id": i, "content": content,
+			"date_posted": base.Add(time.Duration(i) * time.Minute),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	show := func(tag string) {
+		posts, err := reg.Objects("Wall").Filter("user_id", 42).
+			OrderBy("-date_posted").Limit(5).All()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", tag)
+		for _, p := range posts {
+			fmt.Printf("   %s  %s\n", p.Time("date_posted").Format("15:04"), p.Str("content"))
+		}
+		gs := genie.Stats()
+		fmt.Printf("   [hits=%d misses=%d trigger-updates=%d recomputes=%d]\n",
+			gs.Hits, gs.Misses, gs.TriggerUpdates, gs.Recomputes)
+	}
+
+	for i := 0; i < 10; i++ {
+		post(i, fmt.Sprintf("post #%d", i))
+	}
+	show("initial wall (first read populates cache):")
+
+	post(60, "breaking news!") // newest post: trigger inserts it at the head
+	show("after a new post (served from cache, updated in place):")
+
+	// Delete the top three posts: the 2-post reserve absorbs two deletes,
+	// then the trigger recomputes the whole list from the database.
+	for _, content := range []string{"breaking news!", "post #9", "post #8"} {
+		if _, err := reg.Objects("Wall").Filter("content", content).Delete(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	show("after three deletes (reserve exhausted -> recompute):")
+}

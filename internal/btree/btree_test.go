@@ -1,0 +1,289 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(key(1)); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete(key(1)) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if tr.Min() != nil || tr.Max() != nil {
+		t.Fatal("Min/Max on empty tree should be nil")
+	}
+	if it := tr.Scan(nil, nil); it.Valid() {
+		t.Fatal("iterator on empty tree should be invalid")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tr := New(8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if !tr.Set(key(i), int64(i)) {
+			t.Fatalf("Set(%d) reported replace on fresh key", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != int64(i) {
+			t.Fatalf("Get(%d) = %d,%v; want %d,true", i, v, ok, i)
+		}
+	}
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetReplaces(t *testing.T) {
+	tr := New(4)
+	tr.Set(key(7), 1)
+	if tr.Set(key(7), 2) {
+		t.Fatal("second Set of same key reported insert")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.Get(key(7)); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	for _, order := range []int{4, 5, 8, 64} {
+		t.Run(fmt.Sprintf("order=%d", order), func(t *testing.T) {
+			tr := New(order)
+			const n = 500
+			for i := 0; i < n; i++ {
+				tr.Set(key(i), int64(i))
+			}
+			// Delete in a scrambled order.
+			perm := rand.New(rand.NewSource(42)).Perm(n)
+			for j, i := range perm {
+				if !tr.Delete(key(i)) {
+					t.Fatalf("Delete(%d) = false", i)
+				}
+				if tr.Delete(key(i)) {
+					t.Fatalf("second Delete(%d) = true", i)
+				}
+				if tr.Len() != n-j-1 {
+					t.Fatalf("Len() = %d after %d deletes", tr.Len(), j+1)
+				}
+				if err := tr.check(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New(6)
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Set(key(i), int64(i))
+	}
+	// Scan [10, 20) should see 10,12,...,18.
+	var got []int64
+	for it := tr.Scan(key(10), key(20)); it.Valid(); it.Next() {
+		got = append(got, it.Value())
+	}
+	want := []int64{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Scan starting between keys lands on the next key.
+	it := tr.Scan(key(11), nil)
+	if !it.Valid() || it.Value() != 12 {
+		t.Fatalf("Scan(11) starts at %v, want 12", it.Value())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(4)
+	for _, i := range []int{5, 3, 9, 1, 7} {
+		tr.Set(key(i), int64(i))
+	}
+	if !bytes.Equal(tr.Min(), key(1)) {
+		t.Fatalf("Min = %q", tr.Min())
+	}
+	if !bytes.Equal(tr.Max(), key(9)) {
+		t.Fatalf("Max = %q", tr.Max())
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 50; i++ {
+		tr.Set(key(i), int64(i))
+	}
+	seen := 0
+	tr.Ascend(func(k []byte, v int64) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("Ascend visited %d, want 10", seen)
+	}
+}
+
+// TestAgainstSortedMap drives the tree and a reference map with a random op
+// sequence and checks full equivalence after every operation batch.
+func TestAgainstSortedMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(5)
+	ref := map[string]int64{}
+	for step := 0; step < 5000; step++ {
+		k := key(rng.Intn(400))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int63()
+			tr.Set(k, v)
+			ref[string(k)] = v
+		case 2:
+			delTree := tr.Delete(k)
+			_, inRef := ref[string(k)]
+			if delTree != inRef {
+				t.Fatalf("step %d: Delete(%q) = %v, ref has %v", step, k, delTree, inRef)
+			}
+			delete(ref, string(k))
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len() = %d, ref %d", tr.Len(), len(ref))
+	}
+	// Ordered walk must match sorted reference keys.
+	refKeys := make([]string, 0, len(ref))
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Strings(refKeys)
+	i := 0
+	tr.Ascend(func(k []byte, v int64) bool {
+		if string(k) != refKeys[i] {
+			t.Fatalf("walk[%d] = %q, want %q", i, k, refKeys[i])
+		}
+		if v != ref[refKeys[i]] {
+			t.Fatalf("walk[%d] value = %d, want %d", i, v, ref[refKeys[i]])
+		}
+		i++
+		return true
+	})
+	if err := tr.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEquivalence is a property test: for any key multiset, Get after a
+// sequence of Sets returns the last written value.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(keys []uint16, vals []int64) bool {
+		tr := New(4)
+		ref := map[string]int64{}
+		for i, k := range keys {
+			var v int64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			kb := key(int(k))
+			tr.Set(kb, v)
+			ref[string(kb)] = v
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get([]byte(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteSubset: deleting any subset leaves exactly the complement.
+func TestQuickDeleteSubset(t *testing.T) {
+	f := func(keys []uint8, delMask []bool) bool {
+		tr := New(4)
+		present := map[string]bool{}
+		for _, k := range keys {
+			kb := key(int(k))
+			tr.Set(kb, int64(k))
+			present[string(kb)] = true
+		}
+		for i, k := range keys {
+			if i < len(delMask) && delMask[i] {
+				kb := key(int(k))
+				tr.Delete(kb)
+				delete(present, string(kb))
+			}
+		}
+		if tr.Len() != len(present) {
+			return false
+		}
+		for k := range present {
+			if _, ok := tr.Get([]byte(k)); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOwnership(t *testing.T) {
+	tr := New(4)
+	k := []byte("mutate-me")
+	tr.Set(k, 1)
+	k[0] = 'X' // caller mutates its buffer; tree must be unaffected
+	if _, ok := tr.Get([]byte("mutate-me")); !ok {
+		t.Fatal("tree key was aliased to caller buffer")
+	}
+}
+
+func BenchmarkTreeLookup(b *testing.B) {
+	tr := New(DefaultOrder)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Set(key(i), int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tr := New(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(key(i), int64(i))
+	}
+}

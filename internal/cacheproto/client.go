@@ -1,0 +1,227 @@
+package cacheproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// Client speaks the text protocol to one cache server over a single TCP
+// connection. It implements kvcache.Cache and is safe for concurrent use
+// (operations serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	addr string
+}
+
+var _ kvcache.Cache = (*Client)(nil)
+
+// Dial connects to a cache server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cacheproto: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+		addr: addr,
+	}, nil
+}
+
+// Addr returns the server address this client is connected to.
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "quit\r\n")
+	_ = c.w.Flush()
+	return c.conn.Close()
+}
+
+func ttlSeconds(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	secs := int(ttl / time.Second)
+	if secs == 0 {
+		secs = 1
+	}
+	return secs
+}
+
+// roundTrip sends one command (with optional data block) and returns the
+// first response line.
+func (c *Client) roundTrip(cmd string, data []byte) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.w.WriteString(cmd)
+	c.w.WriteString("\r\n")
+	if data != nil {
+		c.w.Write(data)
+		c.w.WriteString("\r\n")
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// fetch runs get/gets and parses VALUE blocks; must hold c.mu.
+func (c *Client) fetch(cmd, key string) (val []byte, cas uint64, found bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "%s %s\r\n", cmd, key)
+	if err := c.w.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, 0, false, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return val, cas, found, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[0] != "VALUE" {
+			return nil, 0, false, fmt.Errorf("cacheproto: bad response line %q", line)
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("cacheproto: bad length in %q", line)
+		}
+		if len(fields) >= 5 {
+			cas, err = strconv.ParseUint(fields[4], 10, 64)
+			if err != nil {
+				return nil, 0, false, fmt.Errorf("cacheproto: bad cas in %q", line)
+			}
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, 0, false, err
+		}
+		val = buf[:n]
+		found = true
+	}
+}
+
+// Get implements kvcache.Cache. Network errors surface as misses; callers
+// fall back to the database, which is the correct degraded behaviour.
+func (c *Client) Get(key string) ([]byte, bool) {
+	v, _, ok, err := c.fetch("get", key)
+	if err != nil {
+		return nil, false
+	}
+	return v, ok
+}
+
+// Gets implements kvcache.Cache.
+func (c *Client) Gets(key string) ([]byte, uint64, bool) {
+	v, cas, ok, err := c.fetch("gets", key)
+	if err != nil {
+		return nil, 0, false
+	}
+	return v, cas, ok
+}
+
+// Set implements kvcache.Cache.
+func (c *Client) Set(key string, value []byte, ttl time.Duration) {
+	_, _ = c.roundTrip(fmt.Sprintf("set %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
+}
+
+// Add implements kvcache.Cache.
+func (c *Client) Add(key string, value []byte, ttl time.Duration) bool {
+	line, err := c.roundTrip(fmt.Sprintf("add %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
+	return err == nil && line == "STORED"
+}
+
+// Cas implements kvcache.Cache.
+func (c *Client) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
+	line, err := c.roundTrip(
+		fmt.Sprintf("cas %s 0 %d %d %d", key, ttlSeconds(ttl), len(value), cas), value)
+	if err != nil {
+		return kvcache.CasNotFound
+	}
+	switch line {
+	case "STORED":
+		return kvcache.CasStored
+	case "EXISTS":
+		return kvcache.CasConflict
+	default:
+		return kvcache.CasNotFound
+	}
+}
+
+// Delete implements kvcache.Cache.
+func (c *Client) Delete(key string) bool {
+	line, err := c.roundTrip("delete "+key, nil)
+	return err == nil && line == "DELETED"
+}
+
+// Incr implements kvcache.Cache.
+func (c *Client) Incr(key string, delta int64) (int64, bool) {
+	line, err := c.roundTrip(fmt.Sprintf("incr %s %d", key, delta), nil)
+	if err != nil || line == "NOT_FOUND" || strings.HasPrefix(line, "CLIENT_ERROR") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(line, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// FlushAll implements kvcache.Cache.
+func (c *Client) FlushAll() {
+	_, _ = c.roundTrip("flush_all", nil)
+}
+
+// ServerStats fetches the server's counters.
+func (c *Client) ServerStats() (map[string]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "END" {
+			return out, nil
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "STAT" {
+			return nil, errors.New("cacheproto: bad stats line " + line)
+		}
+		n, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[fields[1]] = n
+	}
+}

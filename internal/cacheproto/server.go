@@ -1,0 +1,259 @@
+// Package cacheproto implements a memcached-style text protocol over TCP
+// for the kvcache store, plus a client that satisfies kvcache.Cache. The
+// paper runs an unmodified memcached 1.4.5 on its own machine; cmd/geniecache
+// serves this protocol so the full three-machine deployment can be
+// reproduced end to end.
+//
+// Supported commands (subset of memcached's ASCII protocol):
+//
+//	get <key>\r\n
+//	gets <key>\r\n
+//	set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//	add <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+//	cas <key> <flags> <exptime> <bytes> <casid>\r\n<data>\r\n
+//	delete <key>\r\n
+//	incr <key> <delta>\r\n  (delta may be negative: memcached decr folded in)
+//	flush_all\r\n
+//	stats\r\n
+//	quit\r\n
+package cacheproto
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// Server serves the text protocol for a Store.
+type Server struct {
+	store *kvcache.Store
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	acceptWG sync.WaitGroup
+}
+
+// NewServer wraps store.
+func NewServer(store *kvcache.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.acceptWG.Wait()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		quit, err := s.dispatch(fields, r, w)
+		if err != nil {
+			fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", err)
+		}
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+func (s *Server) readData(r *bufio.Reader, n int) ([]byte, error) {
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	if data[n] != '\r' || data[n+1] != '\n' {
+		return nil, errors.New("bad data chunk terminator")
+	}
+	return data[:n], nil
+}
+
+func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+	switch fields[0] {
+	case "quit":
+		return true, nil
+	case "get", "gets":
+		if len(fields) < 2 {
+			return false, errors.New("get needs a key")
+		}
+		withCas := fields[0] == "gets"
+		for _, key := range fields[1:] {
+			val, cas, ok := s.store.Gets(key)
+			if !ok {
+				continue
+			}
+			if withCas {
+				fmt.Fprintf(w, "VALUE %s 0 %d %d\r\n", key, len(val), cas)
+			} else {
+				fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(val))
+			}
+			w.Write(val)
+			w.WriteString("\r\n")
+		}
+		w.WriteString("END\r\n")
+		return false, nil
+	case "set", "add", "cas":
+		want := 5
+		if fields[0] == "cas" {
+			want = 6
+		}
+		if len(fields) != want {
+			return false, fmt.Errorf("%s needs %d fields", fields[0], want)
+		}
+		key := fields[1]
+		expSecs, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return false, errors.New("bad exptime")
+		}
+		n, err := strconv.Atoi(fields[4])
+		if err != nil || n < 0 {
+			return false, errors.New("bad byte count")
+		}
+		data, err := s.readData(r, n)
+		if err != nil {
+			return false, err
+		}
+		ttl := time.Duration(expSecs) * time.Second
+		switch fields[0] {
+		case "set":
+			s.store.Set(key, data, ttl)
+			w.WriteString("STORED\r\n")
+		case "add":
+			if s.store.Add(key, data, ttl) {
+				w.WriteString("STORED\r\n")
+			} else {
+				w.WriteString("NOT_STORED\r\n")
+			}
+		case "cas":
+			casID, err := strconv.ParseUint(fields[5], 10, 64)
+			if err != nil {
+				return false, errors.New("bad cas id")
+			}
+			switch s.store.Cas(key, data, ttl, casID) {
+			case kvcache.CasStored:
+				w.WriteString("STORED\r\n")
+			case kvcache.CasConflict:
+				w.WriteString("EXISTS\r\n")
+			case kvcache.CasNotFound:
+				w.WriteString("NOT_FOUND\r\n")
+			}
+		}
+		return false, nil
+	case "delete":
+		if len(fields) != 2 {
+			return false, errors.New("delete needs a key")
+		}
+		if s.store.Delete(fields[1]) {
+			w.WriteString("DELETED\r\n")
+		} else {
+			w.WriteString("NOT_FOUND\r\n")
+		}
+		return false, nil
+	case "incr":
+		if len(fields) != 3 {
+			return false, errors.New("incr needs key and delta")
+		}
+		delta, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return false, errors.New("bad delta")
+		}
+		n, ok := s.store.Incr(fields[1], delta)
+		if !ok {
+			w.WriteString("NOT_FOUND\r\n")
+		} else {
+			fmt.Fprintf(w, "%d\r\n", n)
+		}
+		return false, nil
+	case "flush_all":
+		s.store.FlushAll()
+		w.WriteString("OK\r\n")
+		return false, nil
+	case "stats":
+		st := s.store.Stats()
+		fmt.Fprintf(w, "STAT get_hits %d\r\n", st.Hits)
+		fmt.Fprintf(w, "STAT get_misses %d\r\n", st.Misses)
+		fmt.Fprintf(w, "STAT cmd_set %d\r\n", st.Sets)
+		fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
+		fmt.Fprintf(w, "STAT curr_items %d\r\n", st.Items)
+		fmt.Fprintf(w, "STAT bytes %d\r\n", st.BytesUsed)
+		fmt.Fprintf(w, "STAT limit_maxbytes %d\r\n", st.BytesLimit)
+		w.WriteString("END\r\n")
+		return false, nil
+	}
+	return false, fmt.Errorf("unknown command %q", fields[0])
+}

@@ -1,0 +1,122 @@
+// Package cluster spreads cache keys over multiple cache servers with
+// consistent hashing, giving CacheGenie the paper's "single logical cache
+// across many cache servers" property (§2, contrast with SI-cache whose
+// per-server caches duplicate data and shrink effective capacity).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// virtualNodes is how many ring positions each server occupies; more
+// positions smooth the key distribution.
+const virtualNodes = 128
+
+// Ring is a consistent-hash ring of caches. It implements kvcache.Cache, so
+// the rest of the system cannot tell one server from many. Ring is immutable
+// after construction; rebuild to change membership.
+type Ring struct {
+	nodes  []kvcache.Cache
+	hashes []uint64 // sorted ring positions
+	owner  []int    // owner[i] = node index for hashes[i]
+}
+
+var _ kvcache.Cache = (*Ring)(nil)
+
+// NewRing builds a ring over the given caches (at least one).
+func NewRing(nodes []kvcache.Cache) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	r := &Ring{nodes: nodes}
+	for ni := range nodes {
+		for v := 0; v < virtualNodes; v++ {
+			h := hash64(fmt.Sprintf("node-%d-vn-%d", ni, v))
+			r.hashes = append(r.hashes, h)
+			r.owner = append(r.owner, ni)
+		}
+	}
+	// Sort positions and owners together.
+	idx := make([]int, len(r.hashes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.hashes[idx[a]] < r.hashes[idx[b]] })
+	hashes := make([]uint64, len(idx))
+	owner := make([]int, len(idx))
+	for i, j := range idx {
+		hashes[i] = r.hashes[j]
+		owner[i] = r.owner[j]
+	}
+	r.hashes, r.owner = hashes, owner
+	return r, nil
+}
+
+// hash64 is FNV-1a with a murmur3-style finalizer; bare FNV clusters badly
+// on sequential keys ("key-1", "key-2", ...), which is exactly what cache
+// keys look like.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NodeFor returns the index of the node owning key.
+func (r *Ring) NodeFor(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+func (r *Ring) pick(key string) kvcache.Cache { return r.nodes[r.NodeFor(key)] }
+
+// NumNodes reports ring membership size.
+func (r *Ring) NumNodes() int { return len(r.nodes) }
+
+// Get implements kvcache.Cache.
+func (r *Ring) Get(key string) ([]byte, bool) { return r.pick(key).Get(key) }
+
+// Gets implements kvcache.Cache.
+func (r *Ring) Gets(key string) ([]byte, uint64, bool) { return r.pick(key).Gets(key) }
+
+// Set implements kvcache.Cache.
+func (r *Ring) Set(key string, value []byte, ttl time.Duration) {
+	r.pick(key).Set(key, value, ttl)
+}
+
+// Add implements kvcache.Cache.
+func (r *Ring) Add(key string, value []byte, ttl time.Duration) bool {
+	return r.pick(key).Add(key, value, ttl)
+}
+
+// Cas implements kvcache.Cache.
+func (r *Ring) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
+	return r.pick(key).Cas(key, value, ttl, cas)
+}
+
+// Delete implements kvcache.Cache.
+func (r *Ring) Delete(key string) bool { return r.pick(key).Delete(key) }
+
+// Incr implements kvcache.Cache.
+func (r *Ring) Incr(key string, delta int64) (int64, bool) { return r.pick(key).Incr(key, delta) }
+
+// FlushAll implements kvcache.Cache; it flushes every node.
+func (r *Ring) FlushAll() {
+	for _, n := range r.nodes {
+		n.FlushAll()
+	}
+}

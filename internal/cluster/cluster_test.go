@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"cachegenie/internal/kvcache"
+)
+
+func newTestRing(t *testing.T, n int) (*Ring, []*kvcache.Store) {
+	t.Helper()
+	stores := make([]*kvcache.Store, n)
+	nodes := make([]kvcache.Cache, n)
+	for i := range stores {
+		stores[i] = kvcache.New(0)
+		nodes[i] = stores[i]
+	}
+	r, err := NewRing(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, stores
+}
+
+func TestRingRequiresNodes(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	r, _ := newTestRing(t, 3)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		r.Set(k, []byte(fmt.Sprintf("v%d", i)), 0)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		v, ok := r.Get(k)
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+}
+
+func TestRingStableAssignment(t *testing.T) {
+	r, _ := newTestRing(t, 4)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r.NodeFor(k) != r.NodeFor(k) {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, stores := newTestRing(t, 4)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		r.Set(fmt.Sprintf("key-%d", i), []byte("v"), 0)
+	}
+	total := 0
+	for i, s := range stores {
+		n := s.Len()
+		total += n
+		// With 128 vnodes, each of 4 nodes should hold 10%..45% of keys.
+		if n < keys/10 || n > keys*45/100 {
+			t.Errorf("node %d holds %d/%d keys — poor balance", i, n, keys)
+		}
+	}
+	if total != keys {
+		t.Fatalf("total %d, want %d (duplicate or lost keys)", total, keys)
+	}
+}
+
+func TestRingSingleLogicalCacheNoDuplicates(t *testing.T) {
+	// The same key always lands on the same node, so the effective capacity
+	// is the sum of nodes (unlike per-server caches; paper §2 SI-cache
+	// contrast).
+	r, stores := newTestRing(t, 3)
+	for rep := 0; rep < 10; rep++ {
+		r.Set("hot-key", []byte("v"), 0)
+	}
+	holders := 0
+	for _, s := range stores {
+		if _, ok := s.Get("hot-key"); ok {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("key present on %d nodes, want exactly 1", holders)
+	}
+}
+
+func TestRingCasThroughRing(t *testing.T) {
+	r, _ := newTestRing(t, 3)
+	r.Set("k", []byte("v1"), 0)
+	v, tok, ok := r.Gets("k")
+	if !ok || string(v) != "v1" {
+		t.Fatal("Gets through ring failed")
+	}
+	if res := r.Cas("k", []byte("v2"), 0, tok); res != kvcache.CasStored {
+		t.Fatalf("Cas = %v", res)
+	}
+}
+
+func TestRingIncrDeleteFlush(t *testing.T) {
+	r, stores := newTestRing(t, 2)
+	r.Set("n", []byte("5"), 0)
+	if v, ok := r.Incr("n", 3); !ok || v != 8 {
+		t.Fatalf("Incr = %d, %v", v, ok)
+	}
+	if !r.Delete("n") {
+		t.Fatal("Delete = false")
+	}
+	r.Set("a", []byte("1"), 0)
+	r.Set("b", []byte("2"), 0)
+	r.FlushAll()
+	for i, s := range stores {
+		if s.Len() != 0 {
+			t.Fatalf("node %d not flushed", i)
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/latency"
+	"cachegenie/internal/orm"
+	"cachegenie/internal/sqldb"
+)
+
+// Config wires a Genie into an application stack.
+type Config struct {
+	// Registry is the ORM whose reads CacheGenie intercepts.
+	Registry *orm.Registry
+	// DB is the engine triggers are installed into. It must be the same
+	// database the Registry's connection reaches.
+	DB *sqldb.DB
+	// Cache is the caching layer (in-process store, protocol client, or
+	// cluster ring).
+	Cache kvcache.Cache
+
+	// TriggerConnectCost models opening a fresh connection from a trigger
+	// to the cache, the dominant trigger overhead the paper measures
+	// (§5.3: connection setup doubles INSERT latency). Charged once per
+	// trigger firing unless ReuseTriggerConnections is set.
+	TriggerConnectCost time.Duration
+	// ReuseTriggerConnections enables the paper's proposed optimization of
+	// keeping trigger->cache connections open (§5.3 future work); it
+	// eliminates TriggerConnectCost.
+	ReuseTriggerConnections bool
+	// Sleeper implements time passage for injected costs (default real).
+	Sleeper latency.Sleeper
+
+	// DefaultTTL bounds the lifetime of all cached entries (0 = none).
+	DefaultTTL time.Duration
+	// Disabled creates the Genie without intercepting reads or installing
+	// triggers (the NoCache baseline uses the same wiring).
+	Disabled bool
+}
+
+// Stats counts Genie activity.
+type Stats struct {
+	Hits            int64 // reads served from cache
+	Misses          int64 // reads that fell through and repopulated
+	TriggerUpdates  int64 // in-place cache updates from triggers
+	TriggerDeletes  int64 // invalidations from triggers
+	TriggerSkips    int64 // trigger found key absent and quit
+	Recomputes      int64 // top-K reserve exhausted, full recompute
+	CasRetries      int64 // CAS conflicts retried
+	PopulateRefused int64 // Add lost to a concurrent populate
+}
+
+// Genie is the CacheGenie middleware instance.
+type Genie struct {
+	reg     *orm.Registry
+	db      *sqldb.DB
+	cache   kvcache.Cache
+	sleeper latency.Sleeper
+	cfg     Config
+
+	mu      sync.Mutex
+	objects map[string]*CachedObject
+	// byModel indexes transparent cached objects by main model name for
+	// interceptor dispatch.
+	byModel map[string][]*CachedObject
+
+	hits            atomic.Int64
+	misses          atomic.Int64
+	trigUpdates     atomic.Int64
+	trigDeletes     atomic.Int64
+	trigSkips       atomic.Int64
+	recomputes      atomic.Int64
+	casRetries      atomic.Int64
+	populateRefused atomic.Int64
+}
+
+// New creates a Genie and installs it as the registry's read interceptor
+// (unless cfg.Disabled).
+func New(cfg Config) (*Genie, error) {
+	if cfg.Registry == nil || cfg.DB == nil || cfg.Cache == nil {
+		return nil, fmt.Errorf("core: Config needs Registry, DB and Cache")
+	}
+	if cfg.Sleeper == nil {
+		cfg.Sleeper = latency.RealSleeper{}
+	}
+	g := &Genie{
+		reg:     cfg.Registry,
+		db:      cfg.DB,
+		cache:   cfg.Cache,
+		sleeper: cfg.Sleeper,
+		cfg:     cfg,
+		objects: make(map[string]*CachedObject),
+		byModel: make(map[string][]*CachedObject),
+	}
+	if !cfg.Disabled {
+		cfg.Registry.SetInterceptor(g)
+	}
+	return g, nil
+}
+
+// Stats returns a snapshot of counters.
+func (g *Genie) Stats() Stats {
+	return Stats{
+		Hits:            g.hits.Load(),
+		Misses:          g.misses.Load(),
+		TriggerUpdates:  g.trigUpdates.Load(),
+		TriggerDeletes:  g.trigDeletes.Load(),
+		TriggerSkips:    g.trigSkips.Load(),
+		Recomputes:      g.recomputes.Load(),
+		CasRetries:      g.casRetries.Load(),
+		PopulateRefused: g.populateRefused.Load(),
+	}
+}
+
+// Cache returns the caching layer the Genie writes to.
+func (g *Genie) Cache() kvcache.Cache { return g.cache }
+
+// Objects returns the registered cached objects sorted by name.
+func (g *Genie) Objects() []*CachedObject {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*CachedObject, 0, len(g.objects))
+	for _, co := range g.objects {
+		out = append(out, co)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].spec.Name < out[b].spec.Name })
+	return out
+}
+
+// chargeTriggerConnect models the trigger opening its cache connection.
+func (g *Genie) chargeTriggerConnect() {
+	if !g.cfg.ReuseTriggerConnections && g.cfg.TriggerConnectCost > 0 {
+		g.sleeper.Sleep(g.cfg.TriggerConnectCost)
+	}
+}
+
+// CachedObject is one declared cached object: an instance of a cache class
+// bound to a model and lookup fields.
+type CachedObject struct {
+	g     *Genie
+	spec  Spec
+	model *orm.Model
+	// linkThrough is set for LinkQuery.
+	linkThrough *orm.Model
+	// colIdx maps field name -> position in the model's schema order.
+	colIdx map[string]int
+	// throughIdx maps through-model field name -> position (LinkQuery).
+	throughIdx map[string]int
+	// sql is the derived query template (paper: "query generation").
+	sql string
+	// triggers are the generated triggers (installed in the DB).
+	triggers []sqldb.Trigger
+}
+
+// Spec returns the object's declaration.
+func (co *CachedObject) Spec() Spec { return co.spec }
+
+// QueryTemplate returns the derived SQL template for cache misses.
+func (co *CachedObject) QueryTemplate() string { return co.sql }
+
+// Triggers returns the generated triggers (with Source listings).
+func (co *CachedObject) Triggers() []sqldb.Trigger { return co.triggers }
+
+// MakeKey builds the cache key for the given lookup values.
+func (co *CachedObject) MakeKey(vals ...sqldb.Value) string {
+	parts := make([]string, 0, len(vals)+2)
+	parts = append(parts, "cg", co.spec.Name)
+	for _, v := range vals {
+		parts = append(parts, keyValue(v))
+	}
+	return strings.Join(parts, ":")
+}
+
+func fieldIndex(m *orm.Model) map[string]int {
+	idx := make(map[string]int, len(m.Fields)+1)
+	for i, n := range m.FieldNames() {
+		idx[n] = i
+	}
+	return idx
+}
+
+// Cacheable declares a cached object: it derives the query template,
+// generates and installs the triggers, and (unless the spec is Opaque)
+// arms transparent interception for matching ORM queries. This is the
+// paper's cacheable(...) entry point.
+func (g *Genie) Cacheable(spec Spec) (*CachedObject, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	model, err := g.reg.Model(spec.MainModel)
+	if err != nil {
+		return nil, err
+	}
+	co := &CachedObject{g: g, spec: spec, model: model, colIdx: fieldIndex(model)}
+	for _, f := range spec.WhereFields {
+		if spec.Class == LinkQuery {
+			break // validated against the through model below
+		}
+		if _, ok := co.colIdx[f]; !ok {
+			return nil, fmt.Errorf("core: %s: model %s has no field %q", spec.Name, model.Name, f)
+		}
+	}
+	if spec.Class == TopKQuery {
+		if _, ok := co.colIdx[spec.SortField]; !ok {
+			return nil, fmt.Errorf("core: %s: model %s has no sort field %q", spec.Name, model.Name, spec.SortField)
+		}
+	}
+	if spec.Class == LinkQuery {
+		through, err := g.reg.Model(spec.Link.ThroughModel)
+		if err != nil {
+			return nil, err
+		}
+		co.linkThrough = through
+		co.throughIdx = fieldIndex(through)
+		for _, f := range []string{spec.Link.SourceField, spec.Link.JoinField} {
+			if _, ok := co.throughIdx[f]; !ok {
+				return nil, fmt.Errorf("core: %s: through model %s has no field %q", spec.Name, through.Name, f)
+			}
+		}
+		if _, ok := co.colIdx[spec.Link.TargetField]; !ok {
+			return nil, fmt.Errorf("core: %s: model %s has no field %q", spec.Name, model.Name, spec.Link.TargetField)
+		}
+	}
+	co.sql = co.buildQueryTemplate()
+
+	g.mu.Lock()
+	if _, dup := g.objects[spec.Name]; dup {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("core: cached object %q already declared", spec.Name)
+	}
+	g.objects[spec.Name] = co
+	if !spec.Opaque {
+		g.byModel[model.Name] = append(g.byModel[model.Name], co)
+	}
+	g.mu.Unlock()
+
+	if !g.cfg.Disabled {
+		if err := co.installTriggers(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Still generate sources so effort metrics work in baseline mode.
+		co.triggers = co.generateTriggers()
+	}
+	return co, nil
+}
+
+// buildQueryTemplate derives the SQL issued on cache misses.
+func (co *CachedObject) buildQueryTemplate() string {
+	cols := make([]string, 0, len(co.model.Fields)+1)
+	for _, c := range co.model.FieldNames() {
+		cols = append(cols, co.model.Table+"."+c)
+	}
+	colList := strings.Join(cols, ", ")
+	where := make([]string, len(co.spec.WhereFields))
+	switch co.spec.Class {
+	case LinkQuery:
+		l := co.spec.Link
+		return fmt.Sprintf("SELECT %s FROM %s JOIN %s ON %s.%s = %s.%s WHERE %s.%s = $1",
+			colList, co.linkThrough.Table, co.model.Table,
+			co.model.Table, l.TargetField, co.linkThrough.Table, l.JoinField,
+			co.linkThrough.Table, l.SourceField)
+	case CountQuery:
+		for i, f := range co.spec.WhereFields {
+			where[i] = fmt.Sprintf("%s.%s = $%d", co.model.Table, f, i+1)
+		}
+		return fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s",
+			co.model.Table, strings.Join(where, " AND "))
+	case TopKQuery:
+		for i, f := range co.spec.WhereFields {
+			where[i] = fmt.Sprintf("%s.%s = $%d", co.model.Table, f, i+1)
+		}
+		dir := ""
+		if co.spec.SortDesc {
+			dir = " DESC"
+		}
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s ORDER BY %s.%s%s LIMIT %d",
+			colList, co.model.Table, strings.Join(where, " AND "),
+			co.model.Table, co.spec.SortField, dir, co.spec.K+co.spec.reserve())
+	default: // FeatureQuery
+		for i, f := range co.spec.WhereFields {
+			where[i] = fmt.Sprintf("%s.%s = $%d", co.model.Table, f, i+1)
+		}
+		return fmt.Sprintf("SELECT %s FROM %s WHERE %s",
+			colList, co.model.Table, strings.Join(where, " AND "))
+	}
+}
+
+// ttl returns the object's entry TTL.
+func (co *CachedObject) ttl() time.Duration {
+	if co.spec.Strategy == Expiry {
+		return co.spec.TTL
+	}
+	if co.spec.TTL > 0 {
+		return co.spec.TTL
+	}
+	return co.g.cfg.DefaultTTL
+}
+
+// Rows evaluates the cached object for the given lookup values, reading the
+// cache first and populating it from the database on a miss (the paper's
+// evaluate()). Valid for FeatureQuery, LinkQuery and TopKQuery.
+func (co *CachedObject) Rows(vals ...sqldb.Value) ([]sqldb.Row, error) {
+	if co.spec.Class == CountQuery {
+		return nil, fmt.Errorf("core: %s is a CountQuery; call Count", co.spec.Name)
+	}
+	key := co.MakeKey(vals...)
+	if raw, ok := co.g.cache.Get(key); ok {
+		p, err := decodePayload(raw)
+		if err == nil {
+			co.g.hits.Add(1)
+			rows := p.rows
+			if co.spec.Class == TopKQuery && len(rows) > co.spec.K {
+				rows = rows[:co.spec.K]
+			}
+			return rows, nil
+		}
+		// Corrupt entry: drop it and fall through to the database.
+		co.g.cache.Delete(key)
+	}
+	co.g.misses.Add(1)
+	rows, exhaustive, err := co.fetchFromDB(co.g.reg.Conn(), vals)
+	if err != nil {
+		return nil, err
+	}
+	enc := encodePayload(payload{exhaustive: exhaustive, rows: rows})
+	if !co.g.cache.Add(key, enc, co.ttl()) {
+		co.g.populateRefused.Add(1)
+	}
+	if co.spec.Class == TopKQuery && len(rows) > co.spec.K {
+		rows = rows[:co.spec.K]
+	}
+	return rows, nil
+}
+
+// Count evaluates a CountQuery object.
+func (co *CachedObject) Count(vals ...sqldb.Value) (int64, error) {
+	if co.spec.Class != CountQuery {
+		return 0, fmt.Errorf("core: %s is not a CountQuery", co.spec.Name)
+	}
+	key := co.MakeKey(vals...)
+	if raw, ok := co.g.cache.Get(key); ok {
+		if n, ok := parseCount(raw); ok {
+			co.g.hits.Add(1)
+			return n, nil
+		}
+		co.g.cache.Delete(key)
+	}
+	co.g.misses.Add(1)
+	args := make([]sqldb.Value, len(vals))
+	copy(args, vals)
+	rs, err := co.g.reg.Conn().Query(co.sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	n := rs.Rows[0][0].I
+	if !co.g.cache.Add(key, []byte(fmt.Sprintf("%d", n)), co.ttl()) {
+		co.g.populateRefused.Add(1)
+	}
+	return n, nil
+}
+
+// fetchFromDB runs the query template over q.
+func (co *CachedObject) fetchFromDB(q interface {
+	Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error)
+}, vals []sqldb.Value) (rows []sqldb.Row, exhaustive bool, err error) {
+	args := make([]sqldb.Value, len(vals))
+	copy(args, vals)
+	rs, err := q.Query(co.sql, args...)
+	if err != nil {
+		return nil, false, err
+	}
+	exhaustive = true
+	if co.spec.Class == TopKQuery {
+		exhaustive = len(rs.Rows) < co.spec.K+co.spec.reserve()
+	}
+	return rs.Rows, exhaustive, nil
+}
+
+func parseCount(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n int64
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg, i = true, 1
+	}
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(b[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// ---------- orm.Interceptor ----------
+
+var _ orm.Interceptor = (*Genie)(nil)
+
+// InterceptRows implements orm.Interceptor: FeatureQuery, TopKQuery and
+// LinkQuery patterns are served from the cache.
+func (g *Genie) InterceptRows(d *orm.QueryDescriptor) ([]sqldb.Row, bool, error) {
+	g.mu.Lock()
+	candidates := g.byModel[d.Model.Name]
+	g.mu.Unlock()
+	for _, co := range candidates {
+		switch co.spec.Class {
+		case FeatureQuery:
+			if d.Kind != orm.KindRows || d.Join != nil || len(d.Order) > 0 || d.Limit >= 0 {
+				continue
+			}
+			vals, ok := d.EqFilterValues(co.spec.WhereFields)
+			if !ok {
+				continue
+			}
+			rows, err := co.Rows(vals...)
+			return rows, true, err
+		case TopKQuery:
+			if d.Kind != orm.KindRows || d.Join != nil || d.Limit <= 0 || d.Limit > co.spec.K {
+				continue
+			}
+			if len(d.Order) != 1 || d.Order[0].Field != co.spec.SortField || d.Order[0].Desc != co.spec.SortDesc {
+				continue
+			}
+			vals, ok := d.EqFilterValues(co.spec.WhereFields)
+			if !ok {
+				continue
+			}
+			rows, err := co.Rows(vals...)
+			if err == nil && len(rows) > d.Limit {
+				rows = rows[:d.Limit]
+			}
+			return rows, true, err
+		case LinkQuery:
+			if d.Kind != orm.KindRows || d.Join == nil || len(d.Order) > 0 || d.Limit >= 0 {
+				continue
+			}
+			l := co.spec.Link
+			if d.Join.ThroughModel != l.ThroughModel || d.Join.SourceField != l.SourceField ||
+				d.Join.JoinField != l.JoinField || d.Join.TargetField != l.TargetField {
+				continue
+			}
+			vals, ok := d.EqFilterValues([]string{l.SourceField})
+			if !ok {
+				continue
+			}
+			rows, err := co.Rows(vals...)
+			return rows, true, err
+		}
+	}
+	return nil, false, nil
+}
+
+// InterceptCount implements orm.Interceptor for CountQuery patterns.
+func (g *Genie) InterceptCount(d *orm.QueryDescriptor) (int64, bool, error) {
+	g.mu.Lock()
+	candidates := g.byModel[d.Model.Name]
+	g.mu.Unlock()
+	for _, co := range candidates {
+		if co.spec.Class != CountQuery || d.Join != nil {
+			continue
+		}
+		vals, ok := d.EqFilterValues(co.spec.WhereFields)
+		if !ok {
+			continue
+		}
+		n, err := co.Count(vals...)
+		return n, true, err
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cachegenie/internal/sqldb"
+)
+
+// payload is the cached value for row-valued cached objects: the raw result
+// rows plus, for top-K lists, whether the list is exhaustive (contains every
+// matching row in the database, so deletes never require recomputation).
+type payload struct {
+	exhaustive bool
+	rows       []sqldb.Row
+}
+
+const payloadVersion = 1
+
+// encodePayload serializes a payload for the cache.
+func encodePayload(p payload) []byte {
+	out := make([]byte, 0, 64)
+	out = append(out, payloadVersion)
+	if p.exhaustive {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(p.rows)))
+	out = append(out, tmp[:n]...)
+	for _, r := range p.rows {
+		enc := sqldb.EncodeRow(nil, r)
+		n := binary.PutUvarint(tmp[:], uint64(len(enc)))
+		out = append(out, tmp[:n]...)
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// decodePayload parses an encodePayload value.
+func decodePayload(b []byte) (payload, error) {
+	var p payload
+	if len(b) < 2 {
+		return p, fmt.Errorf("core: payload too short (%d bytes)", len(b))
+	}
+	if b[0] != payloadVersion {
+		return p, fmt.Errorf("core: payload version %d unsupported", b[0])
+	}
+	p.exhaustive = b[1] == 1
+	b = b[2:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return p, fmt.Errorf("core: bad payload row count")
+	}
+	b = b[n:]
+	p.rows = make([]sqldb.Row, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return p, fmt.Errorf("core: truncated payload row %d", i)
+		}
+		b = b[n:]
+		row, err := sqldb.DecodeRow(b[:l])
+		if err != nil {
+			return p, err
+		}
+		b = b[l:]
+		p.rows = append(p.rows, row)
+	}
+	return p, nil
+}
+
+// keyEscape makes a value safe for embedding in a cache key.
+func keyEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, " ", "%20")
+	return s
+}
+
+// keyValue renders one lookup value for a cache key.
+func keyValue(v sqldb.Value) string {
+	if v.Null {
+		return "~null~"
+	}
+	switch v.Type {
+	case sqldb.TypeInt, sqldb.TypeBool, sqldb.TypeTime:
+		return strconv.FormatInt(v.I, 10)
+	case sqldb.TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return keyEscape(v.S)
+	}
+}
+
+// rowPK extracts the primary key from a row in model schema order (the PK is
+// always column 0 for ORM-managed tables).
+func rowPK(r sqldb.Row) int64 { return r[0].I }
+
+// findRowByPK returns the index of the row with the given primary key,
+// or -1.
+func findRowByPK(rows []sqldb.Row, pk int64) int {
+	for i, r := range rows {
+		if rowPK(r) == pk {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeRowAt deletes index i preserving order.
+func removeRowAt(rows []sqldb.Row, i int) []sqldb.Row {
+	return append(rows[:i:i], rows[i+1:]...)
+}
+
+// insertRowAt inserts r at index i preserving order.
+func insertRowAt(rows []sqldb.Row, i int, r sqldb.Row) []sqldb.Row {
+	rows = append(rows, nil)
+	copy(rows[i+1:], rows[i:])
+	rows[i] = r
+	return rows
+}

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/sqldb"
+)
+
+// maxCasRetries bounds the gets/cas retry loop in update-in-place triggers.
+// On exhaustion the trigger falls back to invalidating the key, which is
+// always safe.
+const maxCasRetries = 16
+
+// installTriggers generates this object's triggers and installs them in the
+// database engine.
+func (co *CachedObject) installTriggers() error {
+	co.triggers = co.generateTriggers()
+	for _, tr := range co.triggers {
+		if err := co.g.db.CreateTrigger(tr); err != nil {
+			return fmt.Errorf("core: installing trigger %s: %w", tr.Name, err)
+		}
+	}
+	return nil
+}
+
+// generateTriggers builds the trigger set for the cached object: three
+// triggers (INSERT/UPDATE/DELETE) on every table underlying the cached
+// query (paper §3.2). Expiry-strategy objects need no triggers.
+func (co *CachedObject) generateTriggers() []sqldb.Trigger {
+	if co.spec.Strategy == Expiry {
+		return nil
+	}
+	mk := func(table string, op sqldb.TriggerOp, fn sqldb.TriggerFunc, reads ...string) sqldb.Trigger {
+		return sqldb.Trigger{
+			Name:        fmt.Sprintf("cg_%s_%s_%s", co.spec.Name, table, opSuffix(op)),
+			Table:       table,
+			Op:          op,
+			Fn:          fn,
+			Source:      co.triggerSource(table, op),
+			ReadsTables: reads,
+		}
+	}
+	var out []sqldb.Trigger
+	switch co.spec.Class {
+	case FeatureQuery:
+		t := co.model.Table
+		out = append(out,
+			mk(t, sqldb.TrigInsert, co.featureTrigger(sqldb.TrigInsert)),
+			mk(t, sqldb.TrigUpdate, co.featureTrigger(sqldb.TrigUpdate)),
+			mk(t, sqldb.TrigDelete, co.featureTrigger(sqldb.TrigDelete)),
+		)
+	case CountQuery:
+		t := co.model.Table
+		out = append(out,
+			mk(t, sqldb.TrigInsert, co.countTrigger(sqldb.TrigInsert)),
+			mk(t, sqldb.TrigUpdate, co.countTrigger(sqldb.TrigUpdate)),
+			mk(t, sqldb.TrigDelete, co.countTrigger(sqldb.TrigDelete)),
+		)
+	case TopKQuery:
+		t := co.model.Table
+		// Delete and update may recompute the list from the trigger's own
+		// table; the statement already holds it exclusively.
+		out = append(out,
+			mk(t, sqldb.TrigInsert, co.topkTrigger(sqldb.TrigInsert)),
+			mk(t, sqldb.TrigUpdate, co.topkTrigger(sqldb.TrigUpdate), t),
+			mk(t, sqldb.TrigDelete, co.topkTrigger(sqldb.TrigDelete), t),
+		)
+	case LinkQuery:
+		th := co.linkThrough.Table
+		tg := co.model.Table
+		// Relation-table triggers fetch joined target rows; target-table
+		// triggers reverse-map through the relation table.
+		out = append(out,
+			mk(th, sqldb.TrigInsert, co.linkThroughTrigger(sqldb.TrigInsert), tg),
+			mk(th, sqldb.TrigUpdate, co.linkThroughTrigger(sqldb.TrigUpdate), tg),
+			mk(th, sqldb.TrigDelete, co.linkThroughTrigger(sqldb.TrigDelete), tg),
+			mk(tg, sqldb.TrigInsert, co.linkTargetTrigger(sqldb.TrigInsert), th),
+			mk(tg, sqldb.TrigUpdate, co.linkTargetTrigger(sqldb.TrigUpdate), th),
+			mk(tg, sqldb.TrigDelete, co.linkTargetTrigger(sqldb.TrigDelete), th),
+		)
+	}
+	return out
+}
+
+func opSuffix(op sqldb.TriggerOp) string {
+	switch op {
+	case sqldb.TrigInsert:
+		return "ins"
+	case sqldb.TrigUpdate:
+		return "upd"
+	default:
+		return "del"
+	}
+}
+
+// keyFromRow builds the cache key from a row using the given field index.
+func (co *CachedObject) keyFromRow(row sqldb.Row, idx map[string]int, fields []string) string {
+	vals := make([]sqldb.Value, len(fields))
+	for i, f := range fields {
+		vals[i] = row[idx[f]]
+	}
+	return co.MakeKey(vals...)
+}
+
+// whereValsFromRow extracts the lookup values from a main-model row.
+func (co *CachedObject) whereValsFromRow(row sqldb.Row) []sqldb.Value {
+	vals := make([]sqldb.Value, len(co.spec.WhereFields))
+	for i, f := range co.spec.WhereFields {
+		vals[i] = row[co.colIdx[f]]
+	}
+	return vals
+}
+
+// invalidateKey deletes a key (the invalidate strategy's whole job).
+func (co *CachedObject) invalidateKey(key string) {
+	co.g.chargeTriggerConnect()
+	if co.g.cache.Delete(key) {
+		co.g.trigDeletes.Add(1)
+	} else {
+		co.g.trigSkips.Add(1)
+	}
+}
+
+// casMutate runs the paper's gets -> modify -> cas loop against key. fn
+// mutates the decoded payload and reports whether anything changed. If the
+// key is absent the trigger quits (the paper's behaviour: uncached entries
+// are repopulated on the next read miss). Retries on CAS conflicts; falls
+// back to invalidation if the conflict persists.
+func (co *CachedObject) casMutate(key string, fn func(p *payload) bool) {
+	g := co.g
+	g.chargeTriggerConnect()
+	for attempt := 0; ; attempt++ {
+		raw, tok, ok := g.cache.Gets(key)
+		if !ok {
+			g.trigSkips.Add(1)
+			return
+		}
+		p, err := decodePayload(raw)
+		if err != nil {
+			g.cache.Delete(key)
+			g.trigDeletes.Add(1)
+			return
+		}
+		if !fn(&p) {
+			return
+		}
+		switch g.cache.Cas(key, encodePayload(p), co.ttl(), tok) {
+		case kvcache.CasStored:
+			g.trigUpdates.Add(1)
+			return
+		case kvcache.CasNotFound:
+			g.trigSkips.Add(1)
+			return
+		case kvcache.CasConflict:
+			g.casRetries.Add(1)
+			if attempt >= maxCasRetries {
+				g.cache.Delete(key)
+				g.trigDeletes.Add(1)
+				return
+			}
+		}
+	}
+}
+
+// ---------- FeatureQuery ----------
+
+// featureTrigger keeps "rows of M where WhereFields = vals" entries in sync.
+// Feature payloads are always exhaustive, so rows can be edited in place.
+func (co *CachedObject) featureTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
+	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+		switch op {
+		case sqldb.TrigInsert:
+			key := co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields)
+			if co.spec.Strategy == Invalidate {
+				co.invalidateKey(key)
+				return nil
+			}
+			co.casMutate(key, func(p *payload) bool {
+				if findRowByPK(p.rows, rowPK(ev.New)) >= 0 {
+					return false
+				}
+				p.rows = append(p.rows, ev.New)
+				return true
+			})
+		case sqldb.TrigDelete:
+			key := co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields)
+			if co.spec.Strategy == Invalidate {
+				co.invalidateKey(key)
+				return nil
+			}
+			co.casMutate(key, func(p *payload) bool {
+				i := findRowByPK(p.rows, rowPK(ev.Old))
+				if i < 0 {
+					return false
+				}
+				p.rows = removeRowAt(p.rows, i)
+				return true
+			})
+		case sqldb.TrigUpdate:
+			oldKey := co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields)
+			newKey := co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields)
+			if co.spec.Strategy == Invalidate {
+				co.invalidateKey(oldKey)
+				if newKey != oldKey {
+					co.invalidateKey(newKey)
+				}
+				return nil
+			}
+			if oldKey == newKey {
+				co.casMutate(newKey, func(p *payload) bool {
+					i := findRowByPK(p.rows, rowPK(ev.New))
+					if i < 0 {
+						p.rows = append(p.rows, ev.New)
+					} else {
+						p.rows[i] = ev.New
+					}
+					return true
+				})
+				return nil
+			}
+			co.casMutate(oldKey, func(p *payload) bool {
+				i := findRowByPK(p.rows, rowPK(ev.Old))
+				if i < 0 {
+					return false
+				}
+				p.rows = removeRowAt(p.rows, i)
+				return true
+			})
+			co.casMutate(newKey, func(p *payload) bool {
+				if findRowByPK(p.rows, rowPK(ev.New)) >= 0 {
+					return false
+				}
+				p.rows = append(p.rows, ev.New)
+				return true
+			})
+		}
+		return nil
+	}
+}
+
+// ---------- CountQuery ----------
+
+// countTrigger maintains COUNT(*) entries with atomic increments; counts
+// need no CAS because Incr is atomic at the cache.
+func (co *CachedObject) countTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
+	bump := func(key string, delta int64) {
+		co.g.chargeTriggerConnect()
+		if co.spec.Strategy == Invalidate {
+			if co.g.cache.Delete(key) {
+				co.g.trigDeletes.Add(1)
+			} else {
+				co.g.trigSkips.Add(1)
+			}
+			return
+		}
+		if _, ok := co.g.cache.Incr(key, delta); ok {
+			co.g.trigUpdates.Add(1)
+		} else {
+			co.g.trigSkips.Add(1)
+		}
+	}
+	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+		switch op {
+		case sqldb.TrigInsert:
+			bump(co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields), 1)
+		case sqldb.TrigDelete:
+			bump(co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields), -1)
+		case sqldb.TrigUpdate:
+			oldKey := co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields)
+			newKey := co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields)
+			if oldKey != newKey {
+				bump(oldKey, -1)
+				bump(newKey, 1)
+			}
+		}
+		return nil
+	}
+}
+
+// ---------- TopKQuery ----------
+
+// sortCompare orders a before b per the spec's sort direction. Ties keep
+// insertion order (stable).
+func (co *CachedObject) sortBefore(a, b sqldb.Value) bool {
+	c := sqldb.Compare(a, b)
+	if co.spec.SortDesc {
+		return c > 0
+	}
+	return c < 0
+}
+
+func (co *CachedObject) sortVal(row sqldb.Row) sqldb.Value {
+	return row[co.colIdx[co.spec.SortField]]
+}
+
+// topkInsertLocked inserts row into the ordered list, returning whether the
+// payload changed.
+func (co *CachedObject) topkInsert(p *payload, row sqldb.Row) bool {
+	limit := co.spec.K + co.spec.reserve()
+	pos := len(p.rows)
+	for i, r := range p.rows {
+		if co.sortBefore(co.sortVal(row), co.sortVal(r)) {
+			pos = i
+			break
+		}
+	}
+	if pos == len(p.rows) {
+		if len(p.rows) >= limit && !p.exhaustive {
+			// Row sorts below the cached window; the window is unaffected.
+			return false
+		}
+		p.rows = append(p.rows, row)
+	} else {
+		p.rows = insertRowAt(p.rows, pos, row)
+	}
+	if len(p.rows) > limit {
+		p.rows = p.rows[:limit]
+		p.exhaustive = false
+	}
+	return true
+}
+
+// recomputeTopK refreshes the whole list from the database — the paper's
+// fallback when the reserve is exhausted by deletes.
+func (co *CachedObject) recomputeTopK(q sqldb.Queryer, key string, vals []sqldb.Value) {
+	rows, exhaustive, err := co.fetchFromDB(q, vals)
+	if err != nil {
+		// Can't recompute: drop the key so readers repopulate.
+		co.g.cache.Delete(key)
+		co.g.trigDeletes.Add(1)
+		return
+	}
+	co.g.recomputes.Add(1)
+	co.g.cache.Set(key, encodePayload(payload{exhaustive: exhaustive, rows: rows}), co.ttl())
+	co.g.trigUpdates.Add(1)
+}
+
+func (co *CachedObject) topkTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
+	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+		switch op {
+		case sqldb.TrigInsert:
+			key := co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields)
+			if co.spec.Strategy == Invalidate {
+				co.invalidateKey(key)
+				return nil
+			}
+			co.casMutate(key, func(p *payload) bool {
+				if findRowByPK(p.rows, rowPK(ev.New)) >= 0 {
+					return false
+				}
+				return co.topkInsert(p, ev.New)
+			})
+		case sqldb.TrigDelete:
+			key := co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields)
+			if co.spec.Strategy == Invalidate {
+				co.invalidateKey(key)
+				return nil
+			}
+			needRecompute := false
+			co.casMutate(key, func(p *payload) bool {
+				i := findRowByPK(p.rows, rowPK(ev.Old))
+				if i < 0 {
+					return false
+				}
+				p.rows = removeRowAt(p.rows, i)
+				if len(p.rows) < co.spec.K && !p.exhaustive {
+					needRecompute = true
+				}
+				return true
+			})
+			if needRecompute {
+				co.recomputeTopK(q, key, co.whereValsFromRow(ev.Old))
+			}
+		case sqldb.TrigUpdate:
+			oldKey := co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields)
+			newKey := co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields)
+			if co.spec.Strategy == Invalidate {
+				co.invalidateKey(oldKey)
+				if newKey != oldKey {
+					co.invalidateKey(newKey)
+				}
+				return nil
+			}
+			if oldKey != newKey {
+				// Moved between lists: delete from old, insert into new.
+				needRecompute := false
+				co.casMutate(oldKey, func(p *payload) bool {
+					i := findRowByPK(p.rows, rowPK(ev.Old))
+					if i < 0 {
+						return false
+					}
+					p.rows = removeRowAt(p.rows, i)
+					if len(p.rows) < co.spec.K && !p.exhaustive {
+						needRecompute = true
+					}
+					return true
+				})
+				if needRecompute {
+					co.recomputeTopK(q, oldKey, co.whereValsFromRow(ev.Old))
+				}
+				co.casMutate(newKey, func(p *payload) bool {
+					if findRowByPK(p.rows, rowPK(ev.New)) >= 0 {
+						return false
+					}
+					return co.topkInsert(p, ev.New)
+				})
+				return nil
+			}
+			co.casMutate(newKey, func(p *payload) bool {
+				i := findRowByPK(p.rows, rowPK(ev.New))
+				if i < 0 {
+					return false
+				}
+				if sqldb.Compare(co.sortVal(ev.Old), co.sortVal(ev.New)) == 0 {
+					// Sort position unchanged: update the row in place
+					// (the paper: "UPDATE triggers simply update the
+					// corresponding post if it finds it in the cached list").
+					p.rows[i] = ev.New
+					return true
+				}
+				p.rows = removeRowAt(p.rows, i)
+				co.topkInsert(p, ev.New)
+				return true
+			})
+		}
+		return nil
+	}
+}
+
+// ---------- LinkQuery ----------
+
+// linkFetchTarget reads the target row(s) joined by joinVal, using the
+// enclosing transaction so locks are shared.
+func (co *CachedObject) linkFetchTarget(q sqldb.Queryer, joinVal sqldb.Value) ([]sqldb.Row, error) {
+	cols := make([]string, 0, len(co.model.Fields)+1)
+	for _, c := range co.model.FieldNames() {
+		cols = append(cols, c)
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s = $1",
+		strings.Join(cols, ", "), co.model.Table, co.spec.Link.TargetField)
+	rs, err := q.Query(sql, joinVal)
+	if err != nil {
+		return nil, err
+	}
+	return rs.Rows, nil
+}
+
+// linkSources finds the source values whose cached lists contain the target
+// row joined by joinVal (reverse lookup through the relation table).
+func (co *CachedObject) linkSources(q sqldb.Queryer, joinVal sqldb.Value) ([]sqldb.Value, error) {
+	l := co.spec.Link
+	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s = $1",
+		l.SourceField, co.linkThrough.Table, l.JoinField)
+	rs, err := q.Query(sql, joinVal)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sqldb.Value, len(rs.Rows))
+	for i, r := range rs.Rows {
+		out[i] = r[0]
+	}
+	return out, nil
+}
+
+// targetFieldVal extracts the joined column from a target row.
+func (co *CachedObject) targetFieldVal(row sqldb.Row) sqldb.Value {
+	return row[co.colIdx[co.spec.Link.TargetField]]
+}
+
+// linkThroughTrigger reacts to relation-table changes: a membership insert
+// adds the joined target row to the source's cached list.
+func (co *CachedObject) linkThroughTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
+	l := co.spec.Link
+	srcIdx := func() int { return co.throughIdx[l.SourceField] }
+	jfIdx := func() int { return co.throughIdx[l.JoinField] }
+
+	addTo := func(q sqldb.Queryer, srcVal, joinVal sqldb.Value) error {
+		key := co.MakeKey(srcVal)
+		if co.spec.Strategy == Invalidate {
+			co.invalidateKey(key)
+			return nil
+		}
+		// Fetch the joined target row before entering the CAS loop; the
+		// enclosing statement's lock keeps it stable.
+		targets, err := co.linkFetchTarget(q, joinVal)
+		if err != nil {
+			return err
+		}
+		if len(targets) == 0 {
+			return nil // dangling reference; nothing joins
+		}
+		co.casMutate(key, func(p *payload) bool {
+			for _, t := range targets {
+				p.rows = append(p.rows, t)
+			}
+			return len(targets) > 0
+		})
+		return nil
+	}
+	removeFrom := func(srcVal, joinVal sqldb.Value) {
+		key := co.MakeKey(srcVal)
+		if co.spec.Strategy == Invalidate {
+			co.invalidateKey(key)
+			return
+		}
+		co.casMutate(key, func(p *payload) bool {
+			for i, r := range p.rows {
+				if sqldb.Equal(co.targetFieldVal(r), joinVal) {
+					p.rows = removeRowAt(p.rows, i)
+					return true
+				}
+			}
+			return false
+		})
+	}
+
+	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+		switch op {
+		case sqldb.TrigInsert:
+			return addTo(q, ev.New[srcIdx()], ev.New[jfIdx()])
+		case sqldb.TrigDelete:
+			removeFrom(ev.Old[srcIdx()], ev.Old[jfIdx()])
+		case sqldb.TrigUpdate:
+			oldSrc, newSrc := ev.Old[srcIdx()], ev.New[srcIdx()]
+			oldJF, newJF := ev.Old[jfIdx()], ev.New[jfIdx()]
+			if sqldb.Compare(oldSrc, newSrc) == 0 && sqldb.Compare(oldJF, newJF) == 0 {
+				return nil
+			}
+			removeFrom(oldSrc, oldJF)
+			return addTo(q, newSrc, newJF)
+		}
+		return nil
+	}
+}
+
+// linkTargetTrigger reacts to target-table changes; it reverse-maps the row
+// to affected source lists through the relation table.
+func (co *CachedObject) linkTargetTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
+	forEachSource := func(q sqldb.Queryer, joinVal sqldb.Value, apply func(key string)) error {
+		sources, err := co.linkSources(q, joinVal)
+		if err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, src := range sources {
+			key := co.MakeKey(src)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			apply(key)
+		}
+		return nil
+	}
+	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+		switch op {
+		case sqldb.TrigInsert:
+			// A fresh target row joins any pre-existing relation rows that
+			// reference it (relation inserted before target).
+			return forEachSource(q, co.targetFieldVal(ev.New), func(key string) {
+				if co.spec.Strategy == Invalidate {
+					co.invalidateKey(key)
+					return
+				}
+				co.casMutate(key, func(p *payload) bool {
+					if findRowByPK(p.rows, rowPK(ev.New)) >= 0 {
+						return false
+					}
+					p.rows = append(p.rows, ev.New)
+					return true
+				})
+			})
+		case sqldb.TrigUpdate:
+			return forEachSource(q, co.targetFieldVal(ev.Old), func(key string) {
+				if co.spec.Strategy == Invalidate {
+					co.invalidateKey(key)
+					return
+				}
+				co.casMutate(key, func(p *payload) bool {
+					changed := false
+					for i, r := range p.rows {
+						if rowPK(r) == rowPK(ev.New) {
+							p.rows[i] = ev.New
+							changed = true
+						}
+					}
+					return changed
+				})
+			})
+		case sqldb.TrigDelete:
+			return forEachSource(q, co.targetFieldVal(ev.Old), func(key string) {
+				if co.spec.Strategy == Invalidate {
+					co.invalidateKey(key)
+					return
+				}
+				co.casMutate(key, func(p *payload) bool {
+					changed := false
+					for i := len(p.rows) - 1; i >= 0; i-- {
+						if rowPK(p.rows[i]) == rowPK(ev.Old) {
+							p.rows = removeRowAt(p.rows, i)
+							changed = true
+						}
+					}
+					return changed
+				})
+			})
+		}
+		return nil
+	}
+}

@@ -1,0 +1,270 @@
+// Package dbproto implements a wire protocol for the sqldb engine so it can
+// run as a standalone server (cmd/geniedb), taking the place of the paper's
+// networked PostgreSQL instance. Requests and responses are gob-encoded over
+// a TCP connection; each connection owns at most one open transaction, like
+// a Postgres session.
+package dbproto
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"cachegenie/internal/sqldb"
+)
+
+// Op is a request operation.
+type Op string
+
+// Request operations.
+const (
+	OpExec     Op = "exec"
+	OpQuery    Op = "query"
+	OpBegin    Op = "begin"
+	OpCommit   Op = "commit"
+	OpRollback Op = "rollback"
+)
+
+// Request is one client request.
+type Request struct {
+	Op   Op
+	SQL  string
+	Args []sqldb.Value
+}
+
+// Response is one server reply.
+type Response struct {
+	Err     string
+	Result  sqldb.Result
+	Columns []string
+	Rows    []sqldb.Row
+}
+
+// Server exposes a DB over TCP.
+type Server struct {
+	db *sqldb.DB
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	acceptWG sync.WaitGroup
+}
+
+// NewServer wraps db.
+func NewServer(db *sqldb.DB) *Server {
+	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr and starts serving; returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.acceptWG.Wait()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var tx *sqldb.Txn
+	defer func() {
+		if tx != nil {
+			_ = tx.Rollback()
+		}
+	}()
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(&tx, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(tx **sqldb.Txn, req Request) Response {
+	fail := func(err error) Response { return Response{Err: err.Error()} }
+	switch req.Op {
+	case OpBegin:
+		if *tx != nil {
+			return fail(errors.New("dbproto: transaction already open"))
+		}
+		*tx = s.db.Begin()
+		return Response{}
+	case OpCommit:
+		if *tx == nil {
+			return fail(errors.New("dbproto: no open transaction"))
+		}
+		err := (*tx).Commit()
+		*tx = nil
+		if err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpRollback:
+		if *tx == nil {
+			return fail(errors.New("dbproto: no open transaction"))
+		}
+		err := (*tx).Rollback()
+		*tx = nil
+		if err != nil {
+			return fail(err)
+		}
+		return Response{}
+	case OpExec:
+		var res sqldb.Result
+		var err error
+		if *tx != nil {
+			res, err = (*tx).Exec(req.SQL, req.Args...)
+		} else {
+			res, err = s.db.Exec(req.SQL, req.Args...)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Result: res}
+	case OpQuery:
+		var rs *sqldb.ResultSet
+		var err error
+		if *tx != nil {
+			rs, err = (*tx).Query(req.SQL, req.Args...)
+		} else {
+			rs, err = s.db.Query(req.SQL, req.Args...)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return Response{Columns: rs.Columns, Rows: rs.Rows}
+	}
+	return fail(fmt.Errorf("dbproto: unknown op %q", req.Op))
+}
+
+// Client is a connection to a DB server. It is safe for concurrent use;
+// requests serialize on the connection. Note that transactions
+// (Begin/Commit) are per-connection state, so concurrent users of one Client
+// must not interleave transactions — open one Client per worker instead.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a DB server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dbproto: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, err
+	}
+	if resp.Err != "" {
+		return Response{}, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Exec runs a mutating statement.
+func (c *Client) Exec(sql string, args ...sqldb.Value) (sqldb.Result, error) {
+	resp, err := c.roundTrip(Request{Op: OpExec, SQL: sql, Args: args})
+	if err != nil {
+		return sqldb.Result{}, err
+	}
+	return resp.Result, nil
+}
+
+// Query runs a SELECT.
+func (c *Client) Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	resp, err := c.roundTrip(Request{Op: OpQuery, SQL: sql, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return &sqldb.ResultSet{Columns: resp.Columns, Rows: resp.Rows}, nil
+}
+
+// Begin opens a transaction on this connection.
+func (c *Client) Begin() error {
+	_, err := c.roundTrip(Request{Op: OpBegin})
+	return err
+}
+
+// Commit commits the connection's transaction.
+func (c *Client) Commit() error {
+	_, err := c.roundTrip(Request{Op: OpCommit})
+	return err
+}
+
+// Rollback aborts the connection's transaction.
+func (c *Client) Rollback() error {
+	_, err := c.roundTrip(Request{Op: OpRollback})
+	return err
+}

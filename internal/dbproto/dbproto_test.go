@@ -1,0 +1,190 @@
+package dbproto
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cachegenie/internal/sqldb"
+)
+
+func newPair(t *testing.T) (*sqldb.DB, *Client) {
+	t.Helper()
+	db := sqldb.Open(sqldb.Config{})
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return db, cli
+}
+
+func TestExecQueryOverWire(t *testing.T) {
+	_, cli := newPair(t)
+	if _, err := cli.Exec("CREATE TABLE users (name TEXT, age INT)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.Exec("INSERT INTO users (name, age) VALUES ($1, $2)",
+		sqldb.Str("alice"), sqldb.I64(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LastInsertID != 1 {
+		t.Fatalf("LastInsertID = %d", res.LastInsertID)
+	}
+	rs, err := cli.Query("SELECT name, age FROM users WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "alice" || rs.Rows[0][1].I != 30 {
+		t.Fatalf("rows = %+v", rs.Rows)
+	}
+}
+
+func TestErrorsCrossTheWire(t *testing.T) {
+	_, cli := newPair(t)
+	_, err := cli.Query("SELECT * FROM missing")
+	if err == nil || !strings.Contains(err.Error(), "no such table") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection must still be usable after an error.
+	if _, err := cli.Exec("CREATE TABLE t (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireTransaction(t *testing.T) {
+	_, cli := newPair(t)
+	if _, err := cli.Exec("CREATE TABLE t (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("INSERT INTO t (v) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cli.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].I != 0 {
+		t.Fatalf("count after rollback = %d", rs.Rows[0][0].I)
+	}
+
+	if err := cli.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("INSERT INTO t (v) VALUES (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = cli.Query("SELECT COUNT(*) FROM t")
+	if rs.Rows[0][0].I != 1 {
+		t.Fatalf("count after commit = %d", rs.Rows[0][0].I)
+	}
+}
+
+func TestDoubleBeginRejected(t *testing.T) {
+	_, cli := newPair(t)
+	if err := cli.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Begin(); err == nil {
+		t.Fatal("double begin accepted")
+	}
+	if err := cli.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectionDropRollsBack(t *testing.T) {
+	db, cli := newPair(t)
+	if _, err := cli.Exec("CREATE TABLE t (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("INSERT INTO t (v) VALUES (9)"); err != nil {
+		t.Fatal(err)
+	}
+	_ = cli.Close() // drop mid-transaction
+
+	// The server must roll the open transaction back and release locks so
+	// new clients can read the table.
+	rs, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].I != 0 {
+		t.Fatalf("count = %d after dropped connection, want 0", rs.Rows[0][0].I)
+	}
+}
+
+func TestManyClientsConcurrently(t *testing.T) {
+	db, _ := newPair(t)
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := db.Exec("CREATE TABLE c (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 30; i++ {
+				if _, err := cli.Exec("INSERT INTO c (v) VALUES ($1)", sqldb.I64(int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rs, _ := db.Query("SELECT COUNT(*) FROM c")
+	if rs.Rows[0][0].I != 180 {
+		t.Fatalf("count = %d, want 180", rs.Rows[0][0].I)
+	}
+}
+
+func TestNullAndTypedValuesOverWire(t *testing.T) {
+	_, cli := newPair(t)
+	if _, err := cli.Exec("CREATE TABLE t (a INT, b TEXT, c BOOL, d FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("INSERT INTO t (a, b, c, d) VALUES ($1, $2, $3, $4)",
+		sqldb.NullOf(sqldb.TypeInt), sqldb.Str("x"), sqldb.Bool(true), sqldb.F64(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cli.Query("SELECT a, b, c, d FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rs.Rows[0]
+	if !row[0].Null || row[1].S != "x" || !row[2].AsBool() || row[3].F != 2.5 {
+		t.Fatalf("row = %+v", row)
+	}
+}

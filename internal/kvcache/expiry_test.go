@@ -1,0 +1,90 @@
+package kvcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestExpiredEntriesFreeMemory verifies that lazily-expired entries release
+// their byte accounting so they stop crowding out live data.
+func TestExpiredEntriesFreeMemory(t *testing.T) {
+	now := time.Unix(5000, 0)
+	s := New(0, WithClock(func() time.Time { return now }))
+	for i := 0; i < 10; i++ {
+		s.Set(fmt.Sprintf("short-%d", i), make([]byte, 100), time.Second)
+	}
+	used := s.Stats().BytesUsed
+	if used == 0 {
+		t.Fatal("nothing accounted")
+	}
+	now = now.Add(time.Minute)
+	// Touch each key to reap it.
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Get(fmt.Sprintf("short-%d", i)); ok {
+			t.Fatal("expired entry served")
+		}
+	}
+	if got := s.Stats().BytesUsed; got != 0 {
+		t.Fatalf("expired entries still account %d bytes", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestTTLRefreshOnSet verifies that rewriting a key resets its expiry.
+func TestTTLRefreshOnSet(t *testing.T) {
+	now := time.Unix(6000, 0)
+	s := New(0, WithClock(func() time.Time { return now }))
+	s.Set("k", []byte("v1"), 10*time.Second)
+	now = now.Add(8 * time.Second)
+	s.Set("k", []byte("v2"), 10*time.Second) // refresh
+	now = now.Add(8 * time.Second)           // 16s after first set, 8s after refresh
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v2" {
+		t.Fatalf("refreshed key gone: %q %v", v, ok)
+	}
+}
+
+// TestCasOnExpiredKeyIsNotFound: an expired entry must act exactly like a
+// deleted one for CAS (triggers fall back to skip, not corrupt).
+func TestCasOnExpiredKeyIsNotFound(t *testing.T) {
+	now := time.Unix(7000, 0)
+	s := New(0, WithClock(func() time.Time { return now }))
+	s.Set("k", []byte("v"), time.Second)
+	_, tok, ok := s.Gets("k")
+	if !ok {
+		t.Fatal("fresh Gets failed")
+	}
+	now = now.Add(time.Minute)
+	if r := s.Cas("k", []byte("new"), 0, tok); r != CasNotFound {
+		t.Fatalf("Cas on expired key = %v, want NOT_FOUND", r)
+	}
+}
+
+// TestEvictionPrefersExpiredOverLive is not guaranteed by plain LRU, but
+// byte accounting must stay correct through mixed expiry + eviction churn.
+func TestMixedExpiryEvictionAccounting(t *testing.T) {
+	now := time.Unix(8000, 0)
+	capacity := int64(4096)
+	s := New(capacity, WithClock(func() time.Time { return now }))
+	for i := 0; i < 500; i++ {
+		ttl := time.Duration(0)
+		if i%3 == 0 {
+			ttl = time.Second
+		}
+		s.Set(fmt.Sprintf("k%d", i), make([]byte, 50+i%100), ttl)
+		if i%50 == 0 {
+			now = now.Add(2 * time.Second) // expire a wave
+		}
+		if st := s.Stats(); st.BytesUsed > capacity {
+			t.Fatalf("over capacity at step %d: %d > %d", i, st.BytesUsed, capacity)
+		}
+	}
+	// Drain everything and confirm accounting returns to zero.
+	s.FlushAll()
+	if st := s.Stats(); st.BytesUsed != 0 || s.Len() != 0 {
+		t.Fatalf("after flush: %+v len=%d", st, s.Len())
+	}
+}

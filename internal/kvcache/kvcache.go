@@ -1,0 +1,425 @@
+// Package kvcache implements the caching layer of the paper's stack: a
+// memcached-semantics in-memory key-value store with LRU eviction under a
+// byte-capacity budget, TTL expiry, and compare-and-swap (the memcached
+// gets/cas pair CacheGenie's update-in-place triggers rely on, §3.2).
+//
+// The Cache interface is implemented by *Store (in-process), by the
+// cacheproto TCP client (remote server), and by the cluster consistent-hash
+// ring (one logical cache over many servers), so every layer of the system
+// is interchangeable in tests and experiments.
+package kvcache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// CasResult reports the outcome of a compare-and-swap.
+type CasResult int
+
+// CAS outcomes, mirroring memcached's STORED / EXISTS / NOT_FOUND.
+const (
+	CasStored   CasResult = iota // swap succeeded
+	CasConflict                  // token stale: someone wrote in between
+	CasNotFound                  // key vanished (deleted or evicted)
+)
+
+// String implements fmt.Stringer.
+func (r CasResult) String() string {
+	switch r {
+	case CasStored:
+		return "STORED"
+	case CasConflict:
+		return "EXISTS"
+	case CasNotFound:
+		return "NOT_FOUND"
+	}
+	return "UNKNOWN"
+}
+
+// Cache is the operation set CacheGenie needs from its caching layer.
+type Cache interface {
+	// Get returns the value under key.
+	Get(key string) ([]byte, bool)
+	// Gets returns the value and a CAS token for a later Cas.
+	Gets(key string) ([]byte, uint64, bool)
+	// Set unconditionally stores value with a TTL (0 = no expiry).
+	Set(key string, value []byte, ttl time.Duration)
+	// Add stores value only if key is absent; reports whether it stored.
+	Add(key string, value []byte, ttl time.Duration) bool
+	// Cas stores value only if the key's token still equals cas.
+	Cas(key string, value []byte, ttl time.Duration, cas uint64) CasResult
+	// Delete removes key; reports whether it was present.
+	Delete(key string) bool
+	// Incr atomically adds delta to a decimal-integer value; reports the
+	// new value, or ok=false if the key is absent or non-numeric.
+	Incr(key string, delta int64) (int64, bool)
+	// FlushAll empties the cache.
+	FlushAll()
+}
+
+// Stats are cumulative counters plus current occupancy.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	Sets         int64
+	Deletes      int64
+	Evictions    int64
+	Expired      int64
+	CasConflicts int64
+	Items        int64
+	BytesUsed    int64
+	BytesLimit   int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entryOverhead approximates per-item bookkeeping bytes, as memcached's
+// item header does.
+const entryOverhead = 64
+
+type entry struct {
+	key     string
+	value   []byte
+	casID   uint64
+	expires int64 // unixnano; 0 = never
+	lruEl   *list.Element
+}
+
+func (e *entry) size() int64 {
+	return int64(len(e.key) + len(e.value) + entryOverhead)
+}
+
+// Store is the in-process cache server. It is safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	items    map[string]*entry
+	lru      *list.List // front = most recently used
+	capacity int64      // bytes; 0 = unbounded
+	used     int64
+	casSeq   uint64
+	now      func() time.Time
+	stats    Stats
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock injects a time source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Store) { s.now = now }
+}
+
+// New creates a store with the given byte capacity (0 = unbounded).
+func New(capacityBytes int64, opts ...Option) *Store {
+	s := &Store{
+		items:    make(map[string]*entry),
+		lru:      list.New(),
+		capacity: capacityBytes,
+		now:      time.Now,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+var _ Cache = (*Store)(nil)
+
+// expiredLocked reports and reaps an expired entry. Caller holds s.mu.
+func (s *Store) expiredLocked(e *entry) bool {
+	if e.expires == 0 || s.now().UnixNano() < e.expires {
+		return false
+	}
+	s.removeLocked(e)
+	s.stats.Expired++
+	return true
+}
+
+func (s *Store) removeLocked(e *entry) {
+	delete(s.items, e.key)
+	s.lru.Remove(e.lruEl)
+	s.used -= e.size()
+}
+
+func (s *Store) bumpLocked(e *entry) {
+	s.lru.MoveToFront(e.lruEl)
+}
+
+// get is the shared lookup; bump controls LRU promotion. The paper notes
+// that trigger touches bump keys even though the application is not "using"
+// them, and suggests a modified LRU; GetQuiet exposes that policy.
+func (s *Store) get(key string, bump bool) (*entry, bool) {
+	e, ok := s.items[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	if s.expiredLocked(e) {
+		s.stats.Misses++
+		return nil, false
+	}
+	if bump {
+		s.bumpLocked(e)
+	}
+	s.stats.Hits++
+	return e, true
+}
+
+// Get implements Cache.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.get(key, true)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.value...), true
+}
+
+// GetQuiet is Get without the LRU bump (modified-LRU policy for trigger
+// touches).
+func (s *Store) GetQuiet(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.get(key, false)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.value...), true
+}
+
+// Gets implements Cache.
+func (s *Store) Gets(key string) ([]byte, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.get(key, true)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), e.value...), e.casID, true
+}
+
+// GetsQuiet is Gets without the LRU bump.
+func (s *Store) GetsQuiet(key string) ([]byte, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.get(key, false)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), e.value...), e.casID, true
+}
+
+func (s *Store) ttlToExpiry(ttl time.Duration) int64 {
+	if ttl <= 0 {
+		return 0
+	}
+	return s.now().Add(ttl).UnixNano()
+}
+
+// setLocked writes key=value, creating or replacing, and evicts to fit.
+func (s *Store) setLocked(key string, value []byte, ttl time.Duration, bump bool) {
+	s.casSeq++
+	if e, ok := s.items[key]; ok {
+		s.used -= e.size()
+		e.value = append([]byte(nil), value...)
+		e.casID = s.casSeq
+		e.expires = s.ttlToExpiry(ttl)
+		s.used += e.size()
+		if bump {
+			s.bumpLocked(e)
+		}
+	} else {
+		e := &entry{
+			key:     key,
+			value:   append([]byte(nil), value...),
+			casID:   s.casSeq,
+			expires: s.ttlToExpiry(ttl),
+		}
+		e.lruEl = s.lru.PushFront(e)
+		s.items[key] = e
+		s.used += e.size()
+	}
+	s.stats.Sets++
+	s.evictLocked()
+}
+
+func (s *Store) evictLocked() {
+	if s.capacity <= 0 {
+		return
+	}
+	for s.used > s.capacity {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		s.removeLocked(e)
+		s.stats.Evictions++
+	}
+}
+
+// Set implements Cache.
+func (s *Store) Set(key string, value []byte, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(key, value, ttl, true)
+}
+
+// SetQuiet is Set without LRU promotion of an existing entry.
+func (s *Store) SetQuiet(key string, value []byte, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(key, value, ttl, false)
+}
+
+// Add implements Cache.
+func (s *Store) Add(key string, value []byte, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[key]; ok && !s.expiredLocked(e) {
+		return false
+	}
+	s.setLocked(key, value, ttl, true)
+	return true
+}
+
+// Cas implements Cache.
+func (s *Store) Cas(key string, value []byte, ttl time.Duration, cas uint64) CasResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok || s.expiredLocked(e) {
+		return CasNotFound
+	}
+	if e.casID != cas {
+		s.stats.CasConflicts++
+		return CasConflict
+	}
+	s.setLocked(key, value, ttl, true)
+	return CasStored
+}
+
+// Delete implements Cache.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.items[key]
+	if !ok {
+		return false
+	}
+	expired := s.expiredLocked(e)
+	if !expired {
+		s.removeLocked(e)
+	}
+	s.stats.Deletes++
+	return !expired
+}
+
+// Incr implements Cache.
+func (s *Store) Incr(key string, delta int64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.get(key, true)
+	if !ok {
+		return 0, false
+	}
+	n, ok := parseDecimal(e.value)
+	if !ok {
+		return 0, false
+	}
+	n += delta
+	s.used -= e.size()
+	e.value = appendDecimal(e.value[:0], n)
+	s.casSeq++
+	e.casID = s.casSeq
+	s.used += e.size()
+	return n, true
+}
+
+// FlushAll implements Cache.
+func (s *Store) FlushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[string]*entry)
+	s.lru.Init()
+	s.used = 0
+}
+
+// Stats returns a snapshot of counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Items = int64(len(s.items))
+	st.BytesUsed = s.used
+	st.BytesLimit = s.capacity
+	return st
+}
+
+// ResetStats zeroes the cumulative counters.
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// Len reports the number of live items.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+func parseDecimal(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n int64
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i = 1
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	for ; i < len(b); i++ {
+		if b[i] < '0' || b[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(b[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+func appendDecimal(dst []byte, n int64) []byte {
+	if n < 0 {
+		dst = append(dst, '-')
+		n = -n
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return append(dst, tmp[i:]...)
+}

@@ -1,0 +1,352 @@
+package kvcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSetGet(t *testing.T) {
+	s := New(0)
+	s.Set("a", []byte("1"), 0)
+	v, ok := s.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) = ok")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Sets != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("abc"), 0)
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("caller mutation leaked into store")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	s := New(0)
+	if !s.Add("k", []byte("1"), 0) {
+		t.Fatal("first Add failed")
+	}
+	if s.Add("k", []byte("2"), 0) {
+		t.Fatal("second Add succeeded")
+	}
+	v, _ := s.Get("k")
+	if string(v) != "1" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("1"), 0)
+	if !s.Delete("k") {
+		t.Fatal("Delete = false")
+	}
+	if s.Delete("k") {
+		t.Fatal("second Delete = true")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestCasHappyPath(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("v1"), 0)
+	_, tok, ok := s.Gets("k")
+	if !ok {
+		t.Fatal("Gets failed")
+	}
+	if r := s.Cas("k", []byte("v2"), 0, tok); r != CasStored {
+		t.Fatalf("Cas = %v", r)
+	}
+	v, _ := s.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestCasConflict(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("v1"), 0)
+	_, tok, _ := s.Gets("k")
+	s.Set("k", []byte("interloper"), 0)
+	if r := s.Cas("k", []byte("v2"), 0, tok); r != CasConflict {
+		t.Fatalf("Cas = %v, want conflict", r)
+	}
+	if s.Stats().CasConflicts != 1 {
+		t.Fatal("conflict not counted")
+	}
+}
+
+func TestCasNotFound(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("v1"), 0)
+	_, tok, _ := s.Gets("k")
+	s.Delete("k")
+	if r := s.Cas("k", []byte("v2"), 0, tok); r != CasNotFound {
+		t.Fatalf("Cas = %v, want not-found", r)
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s := New(0)
+	s.Set("n", []byte("41"), 0)
+	v, ok := s.Incr("n", 1)
+	if !ok || v != 42 {
+		t.Fatalf("Incr = %d, %v", v, ok)
+	}
+	v, ok = s.Incr("n", -2)
+	if !ok || v != 40 {
+		t.Fatalf("Incr(-2) = %d, %v", v, ok)
+	}
+	if _, ok := s.Incr("missing", 1); ok {
+		t.Fatal("Incr on missing key succeeded")
+	}
+	s.Set("text", []byte("abc"), 0)
+	if _, ok := s.Incr("text", 1); ok {
+		t.Fatal("Incr on non-numeric succeeded")
+	}
+}
+
+func TestIncrChangesCasToken(t *testing.T) {
+	s := New(0)
+	s.Set("n", []byte("1"), 0)
+	_, tok, _ := s.Gets("n")
+	s.Incr("n", 1)
+	if r := s.Cas("n", []byte("99"), 0, tok); r != CasConflict {
+		t.Fatalf("Cas after Incr = %v, want conflict", r)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := New(0, WithClock(func() time.Time { return now }))
+	s.Set("k", []byte("v"), time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("fresh key missing")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired key still served")
+	}
+	if s.Stats().Expired != 1 {
+		t.Fatal("expiry not counted")
+	}
+	// Add after expiry must succeed.
+	if !s.Add("k", []byte("v2"), 0) {
+		t.Fatal("Add after expiry failed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity for about 3 items of this size.
+	itemSize := int64(len("key-0") + 100 + entryOverhead)
+	s := New(3 * itemSize)
+	val := make([]byte, 100)
+	for i := 0; i < 4; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), val, 0)
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("LRU victim key-0 still present")
+	}
+	if _, ok := s.Get("key-3"); !ok {
+		t.Fatal("most recent key evicted")
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("evictions not counted")
+	}
+}
+
+func TestLRUBumpOnGet(t *testing.T) {
+	itemSize := int64(len("key-0") + 100 + entryOverhead)
+	s := New(3 * itemSize)
+	val := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), val, 0)
+	}
+	s.Get("key-0") // bump oldest to front
+	s.Set("key-3", val, 0)
+	if _, ok := s.Get("key-0"); !ok {
+		t.Fatal("bumped key was evicted")
+	}
+	if _, ok := s.GetQuiet("key-1"); ok {
+		t.Fatal("expected key-1 to be the eviction victim")
+	}
+}
+
+func TestGetQuietDoesNotBump(t *testing.T) {
+	itemSize := int64(len("key-0") + 100 + entryOverhead)
+	s := New(3 * itemSize)
+	val := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), val, 0)
+	}
+	s.GetQuiet("key-0") // must NOT save key-0 from eviction
+	s.Set("key-3", val, 0)
+	if _, ok := s.GetQuiet("key-0"); ok {
+		t.Fatal("GetQuiet bumped the LRU")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	cap := int64(4096)
+	s := New(cap)
+	for i := 0; i < 200; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), make([]byte, i%50), 0)
+		if st := s.Stats(); st.BytesUsed > cap {
+			t.Fatalf("used %d > capacity %d", st.BytesUsed, cap)
+		}
+	}
+}
+
+func TestQuickCapacityInvariant(t *testing.T) {
+	f := func(keys []uint8, sizes []uint16) bool {
+		s := New(8192)
+		for i, k := range keys {
+			var n int
+			if i < len(sizes) {
+				n = int(sizes[i]) % 2000
+			}
+			s.Set(fmt.Sprintf("k%d", k), make([]byte, n), 0)
+			if s.Stats().BytesUsed > 8192 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		s.Set(fmt.Sprintf("k%d", i), []byte("v"), 0)
+	}
+	s.FlushAll()
+	if s.Len() != 0 || s.Stats().BytesUsed != 0 {
+		t.Fatalf("after flush: len=%d used=%d", s.Len(), s.Stats().BytesUsed)
+	}
+}
+
+func TestConcurrentCasLinearizable(t *testing.T) {
+	// N goroutines each do read-modify-write with CAS retry; final counter
+	// must equal total increments.
+	s := New(0)
+	s.Set("ctr", []byte("0"), 0)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				for {
+					v, tok, ok := s.Gets("ctr")
+					if !ok {
+						t.Error("counter vanished")
+						return
+					}
+					n, _ := parseDecimal(v)
+					if s.Cas("ctr", appendDecimal(nil, n+1), 0, tok) == CasStored {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := s.Get("ctr")
+	n, _ := parseDecimal(v)
+	if n != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", n, goroutines*perG)
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	s := New(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%37)
+				switch i % 4 {
+				case 0:
+					s.Set(k, []byte(fmt.Sprintf("g%d-%d", g, i)), 0)
+				case 1:
+					s.Get(k)
+				case 2:
+					s.Delete(k)
+				case 3:
+					if v, tok, ok := s.Gets(k); ok {
+						s.Cas(k, v, 0, tok)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestParseAppendDecimal(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, 1<<62 - 1}
+	for _, n := range cases {
+		b := appendDecimal(nil, n)
+		got, ok := parseDecimal(b)
+		if !ok || got != n {
+			t.Fatalf("round trip %d -> %q -> %d, %v", n, b, got, ok)
+		}
+	}
+	if _, ok := parseDecimal(nil); ok {
+		t.Fatal("empty parse succeeded")
+	}
+	if _, ok := parseDecimal([]byte("-")); ok {
+		t.Fatal("bare minus parse succeeded")
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := New(0)
+	s.Set("bench", make([]byte, 256), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get("bench")
+	}
+}
+
+func BenchmarkStoreSet(b *testing.B) {
+	s := New(1 << 24)
+	val := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(fmt.Sprintf("key-%d", i%10000), val, 0)
+	}
+}
+
+func BenchmarkStoreCasCycle(b *testing.B) {
+	s := New(0)
+	s.Set("k", []byte("0"), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, tok, _ := s.Gets("k")
+		s.Cas("k", v, 0, tok)
+	}
+}

@@ -1,0 +1,77 @@
+package kvcache
+
+import (
+	"time"
+
+	"cachegenie/internal/latency"
+)
+
+// LatencyCache wraps a Cache and charges a fixed round-trip cost per
+// operation, simulating a cache reached over the network. The experiment
+// harness wraps the in-process Store with the paper's measured ~0.2 ms
+// memcached round-trip (§5.3).
+type LatencyCache struct {
+	inner   Cache
+	rtt     time.Duration
+	sleeper latency.Sleeper
+}
+
+// WithLatency decorates inner with a per-operation round-trip charge.
+func WithLatency(inner Cache, rtt time.Duration, sleeper latency.Sleeper) *LatencyCache {
+	if sleeper == nil {
+		sleeper = latency.RealSleeper{}
+	}
+	return &LatencyCache{inner: inner, rtt: rtt, sleeper: sleeper}
+}
+
+var _ Cache = (*LatencyCache)(nil)
+
+func (l *LatencyCache) charge() { l.sleeper.Sleep(l.rtt) }
+
+// Get implements Cache.
+func (l *LatencyCache) Get(key string) ([]byte, bool) {
+	l.charge()
+	return l.inner.Get(key)
+}
+
+// Gets implements Cache.
+func (l *LatencyCache) Gets(key string) ([]byte, uint64, bool) {
+	l.charge()
+	return l.inner.Gets(key)
+}
+
+// Set implements Cache.
+func (l *LatencyCache) Set(key string, value []byte, ttl time.Duration) {
+	l.charge()
+	l.inner.Set(key, value, ttl)
+}
+
+// Add implements Cache.
+func (l *LatencyCache) Add(key string, value []byte, ttl time.Duration) bool {
+	l.charge()
+	return l.inner.Add(key, value, ttl)
+}
+
+// Cas implements Cache.
+func (l *LatencyCache) Cas(key string, value []byte, ttl time.Duration, cas uint64) CasResult {
+	l.charge()
+	return l.inner.Cas(key, value, ttl, cas)
+}
+
+// Delete implements Cache.
+func (l *LatencyCache) Delete(key string) bool {
+	l.charge()
+	return l.inner.Delete(key)
+}
+
+// Incr implements Cache.
+func (l *LatencyCache) Incr(key string, delta int64) (int64, bool) {
+	l.charge()
+	return l.inner.Incr(key, delta)
+}
+
+// FlushAll implements Cache.
+func (l *LatencyCache) FlushAll() {
+	l.charge()
+	l.inner.FlushAll()
+}

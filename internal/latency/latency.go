@@ -1,0 +1,101 @@
+// Package latency provides a deterministic, injectable cost model for the
+// benchmark harness. The paper's evaluation runs on three machines joined by
+// gigabit ethernet; the important performance effects (memcached round-trips
+// of ~0.2 ms, trigger connection setup doubling INSERT latency, a disk-bound
+// database under the cached configurations) are reproduced here by charging
+// configurable sleeps at the same points in the code path, instead of
+// depending on the benchmark host's hardware.
+//
+// A zero-valued Model charges nothing, so unit tests run at full speed; the
+// experiment harness installs paper-calibrated values (see the workload
+// package) scaled down ~10x so sweeps complete in seconds.
+package latency
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Model holds the injectable delays. All fields may be zero. The struct is
+// immutable after construction; share it freely across goroutines.
+type Model struct {
+	// CacheRoundTrip is charged for every cache operation issued over the
+	// (simulated) network, both by the application and by triggers. The paper
+	// measures ~0.2 ms per memcached operation.
+	CacheRoundTrip time.Duration
+
+	// CacheConnect is charged when a trigger opens a fresh connection to the
+	// cache. The paper measures that opening a remote memcached connection
+	// from a trigger doubles INSERT latency (6.5 ms -> 11.9 ms).
+	CacheConnect time.Duration
+
+	// DBRoundTrip is charged once per SQL statement sent to the database
+	// (client <-> DB server network hop).
+	DBRoundTrip time.Duration
+
+	// DiskAccess is charged per buffer-pool miss, modelling a disk read.
+	DiskAccess time.Duration
+
+	// DBCPU is charged per SQL statement, modelling query parse/plan/execute
+	// CPU beyond what our executor spends natively. It scales the NoCache
+	// configuration's CPU bottleneck to paper-like ratios.
+	DBCPU time.Duration
+}
+
+// Sleeper abstracts time passage so tests can count charges instead of
+// actually sleeping.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// RealSleeper sleeps on the wall clock.
+type RealSleeper struct{}
+
+// Sleep implements Sleeper.
+func (RealSleeper) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// CountingSleeper records total requested sleep without sleeping. It is safe
+// for concurrent use.
+type CountingSleeper struct {
+	total atomic.Int64
+	calls atomic.Int64
+}
+
+// Sleep implements Sleeper.
+func (c *CountingSleeper) Sleep(d time.Duration) {
+	if d > 0 {
+		c.total.Add(int64(d))
+		c.calls.Add(1)
+	}
+}
+
+// Total returns the accumulated virtual sleep time.
+func (c *CountingSleeper) Total() time.Duration { return time.Duration(c.total.Load()) }
+
+// Calls returns the number of non-zero charges.
+func (c *CountingSleeper) Calls() int64 { return c.calls.Load() }
+
+// PaperScaled returns the model used by the experiment harness: the paper's
+// measured latencies divided by scale (scale=1 reproduces absolute paper
+// numbers; the harness default is 10 so experiment sweeps finish quickly
+// while preserving every ratio).
+func PaperScaled(scale int) Model {
+	if scale < 1 {
+		scale = 1
+	}
+	s := time.Duration(scale)
+	return Model{
+		CacheRoundTrip: 200 * time.Microsecond / s,
+		CacheConnect:   5400 * time.Microsecond / s, // 11.9ms - 6.5ms per paper §5.3
+		DBRoundTrip:    150 * time.Microsecond / s,
+		DiskAccess:     5 * time.Millisecond / s,
+		// The paper's microbenchmark puts a simple B+tree lookup at 10-25x
+		// a 0.2ms memcached operation (§5.3), i.e. 2-5ms of query
+		// computation; 3ms sits in that band.
+		DBCPU: 3 * time.Millisecond / s,
+	}
+}

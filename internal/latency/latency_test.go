@@ -1,0 +1,77 @@
+package latency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountingSleeper(t *testing.T) {
+	cs := &CountingSleeper{}
+	cs.Sleep(time.Millisecond)
+	cs.Sleep(2 * time.Millisecond)
+	cs.Sleep(0)  // zero charges are not counted
+	cs.Sleep(-1) // negative neither
+	if got := cs.Total(); got != 3*time.Millisecond {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := cs.Calls(); got != 2 {
+		t.Fatalf("Calls = %d", got)
+	}
+}
+
+func TestCountingSleeperConcurrent(t *testing.T) {
+	cs := &CountingSleeper{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				cs.Sleep(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cs.Calls(); got != 800 {
+		t.Fatalf("Calls = %d", got)
+	}
+	if got := cs.Total(); got != 800*time.Microsecond {
+		t.Fatalf("Total = %v", got)
+	}
+}
+
+func TestRealSleeperZeroReturnsImmediately(t *testing.T) {
+	start := time.Now()
+	RealSleeper{}.Sleep(0)
+	RealSleeper{}.Sleep(-time.Second)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("zero/negative sleep slept")
+	}
+}
+
+func TestPaperScaledRatios(t *testing.T) {
+	m1 := PaperScaled(1)
+	// The paper's measured anchors.
+	if m1.CacheRoundTrip != 200*time.Microsecond {
+		t.Fatalf("CacheRoundTrip = %v", m1.CacheRoundTrip)
+	}
+	if m1.CacheConnect != 5400*time.Microsecond {
+		t.Fatalf("CacheConnect = %v", m1.CacheConnect)
+	}
+	// DB CPU per statement must land in the paper's 10-25x band relative
+	// to a cache round trip (§5.3).
+	ratio := float64(m1.DBCPU) / float64(m1.CacheRoundTrip)
+	if ratio < 10 || ratio > 25 {
+		t.Fatalf("DBCPU/CacheRoundTrip = %.1f, want in [10, 25]", ratio)
+	}
+	// Scaling divides everything uniformly.
+	m10 := PaperScaled(10)
+	if m10.DBCPU != m1.DBCPU/10 || m10.DiskAccess != m1.DiskAccess/10 {
+		t.Fatalf("scale-10 model = %+v", m10)
+	}
+	// Degenerate scales clamp to 1.
+	if m := PaperScaled(0); m.DBCPU != m1.DBCPU {
+		t.Fatal("scale 0 not clamped")
+	}
+}

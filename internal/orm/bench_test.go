@@ -1,0 +1,90 @@
+package orm
+
+import (
+	"fmt"
+	"testing"
+
+	"cachegenie/internal/sqldb"
+)
+
+func benchRegistry(b *testing.B) *Registry {
+	b.Helper()
+	db := sqldb.Open(sqldb.Config{})
+	reg := NewRegistry(db)
+	reg.MustRegister(&ModelDef{
+		Name:  "Profile",
+		Table: "profiles",
+		Fields: []FieldDef{
+			{Name: "user_id", Type: sqldb.TypeInt, NotNull: true},
+			{Name: "bio", Type: sqldb.TypeText},
+		},
+		Indexes: [][]string{{"user_id"}},
+	})
+	if err := reg.CreateTables(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 1000; i++ {
+		if _, err := reg.Insert("Profile", Fields{
+			"user_id": i, "bio": fmt.Sprintf("bio-%d", i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func BenchmarkQuerySetGet(b *testing.B) {
+	reg := benchRegistry(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Objects("Profile").Filter("user_id", i%1000+1).Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuerySetCount(b *testing.B) {
+	reg := benchRegistry(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Objects("Profile").Filter("user_id", i%1000+1).Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	reg := benchRegistry(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Insert("Profile", Fields{
+			"user_id": 1000 + i, "bio": "inserted",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterceptedGet measures the interception fast path: a hit served
+// without SQL generation or parsing.
+func BenchmarkInterceptedGet(b *testing.B) {
+	reg := benchRegistry(b)
+	row := sqldb.Row{sqldb.I64(1), sqldb.I64(1), sqldb.Str("cached")}
+	reg.SetInterceptor(staticInterceptor{rows: []sqldb.Row{row}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Objects("Profile").Filter("user_id", 1).Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type staticInterceptor struct{ rows []sqldb.Row }
+
+func (s staticInterceptor) InterceptRows(d *QueryDescriptor) ([]sqldb.Row, bool, error) {
+	return s.rows, true, nil
+}
+
+func (s staticInterceptor) InterceptCount(d *QueryDescriptor) (int64, bool, error) {
+	return int64(len(s.rows)), true, nil
+}

@@ -1,0 +1,444 @@
+package orm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cachegenie/internal/sqldb"
+)
+
+// Filter is one normalized WHERE term: Field <Op> Value.
+type Filter struct {
+	Field string
+	Op    string // "=", "!=", "<", "<=", ">", ">=", "in"
+	Value sqldb.Value
+	// List is set for Op == "in".
+	List []sqldb.Value
+}
+
+// Order is one normalized ORDER BY term.
+type Order struct {
+	Field string
+	Desc  bool
+}
+
+// Join describes a link-query traversal: the query's rows come from the
+// model's table joined through another table. It models the Django pattern
+// `Target.objects.filter(through__sourcefield=x)` that the paper's LinkQuery
+// cache class captures (§3.1).
+type Join struct {
+	// ThroughModel is the relation table's model name.
+	ThroughModel string
+	// SourceField is the through-table column the filter applies to
+	// (e.g. membership.user_id).
+	SourceField string
+	// JoinField is the through-table column joined to the target
+	// (e.g. membership.group_id).
+	JoinField string
+	// TargetField is the target-model column being joined
+	// (e.g. groups.id).
+	TargetField string
+}
+
+// QueryKind distinguishes row queries from aggregate queries.
+type QueryKind int
+
+// Query kinds.
+const (
+	KindRows QueryKind = iota
+	KindCount
+)
+
+// QueryDescriptor is the normalized form of a QuerySet execution offered to
+// the interceptor. CacheGenie pattern-matches it against its cached-object
+// specs.
+type QueryDescriptor struct {
+	Kind    QueryKind
+	Model   *Model
+	Filters []Filter
+	Join    *Join
+	Order   []Order
+	Limit   int // -1 = none
+}
+
+// EqFilterValues returns the values of equality filters on exactly the given
+// fields (in that order), or ok=false if the descriptor's filters are not
+// exactly those equality terms.
+func (d *QueryDescriptor) EqFilterValues(fields []string) ([]sqldb.Value, bool) {
+	if len(d.Filters) != len(fields) {
+		return nil, false
+	}
+	vals := make([]sqldb.Value, len(fields))
+	for i, f := range fields {
+		found := false
+		for _, flt := range d.Filters {
+			if flt.Field == f && flt.Op == "=" {
+				vals[i] = flt.Value
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return vals, true
+}
+
+// Interceptor may satisfy reads from a cache. Implementations return
+// handled=false to let the query proceed to the database.
+type Interceptor interface {
+	// InterceptRows may answer a row query.
+	InterceptRows(d *QueryDescriptor) (rows []sqldb.Row, handled bool, err error)
+	// InterceptCount may answer a count query.
+	InterceptCount(d *QueryDescriptor) (n int64, handled bool, err error)
+}
+
+// QuerySet is a chainable, immutable-ish query builder. Methods return the
+// receiver for chaining; build a fresh QuerySet per query (Django style).
+type QuerySet struct {
+	reg     *Registry
+	model   *Model
+	err     error
+	filters []Filter
+	join    *Join
+	order   []Order
+	limit   int
+	offset  int
+	// noCache bypasses the interceptor (the paper's manual opt-out for
+	// queries needing strict consistency, §3.3).
+	noCache bool
+}
+
+// Filter adds `field = value`.
+func (q *QuerySet) Filter(field string, value any) *QuerySet {
+	q.filters = append(q.filters, Filter{Field: field, Op: "=", Value: V(value)})
+	return q
+}
+
+// FilterOp adds `field <op> value` with op in =, !=, <, <=, >, >=.
+func (q *QuerySet) FilterOp(field, op string, value any) *QuerySet {
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		q.err = fmt.Errorf("orm: bad filter op %q", op)
+	}
+	q.filters = append(q.filters, Filter{Field: field, Op: op, Value: V(value)})
+	return q
+}
+
+// FilterIn adds `field IN (values...)`.
+func (q *QuerySet) FilterIn(field string, values ...any) *QuerySet {
+	list := make([]sqldb.Value, len(values))
+	for i, v := range values {
+		list[i] = V(v)
+	}
+	q.filters = append(q.filters, Filter{Field: field, Op: "in", List: list})
+	return q
+}
+
+// Via routes the query through a relation table (link query). See Join.
+func (q *QuerySet) Via(throughModel, sourceField, joinField, targetField string) *QuerySet {
+	q.join = &Join{
+		ThroughModel: throughModel,
+		SourceField:  sourceField,
+		JoinField:    joinField,
+		TargetField:  targetField,
+	}
+	return q
+}
+
+// OrderBy adds ordering; prefix the field with "-" for descending
+// (Django convention).
+func (q *QuerySet) OrderBy(fields ...string) *QuerySet {
+	for _, f := range fields {
+		if strings.HasPrefix(f, "-") {
+			q.order = append(q.order, Order{Field: f[1:], Desc: true})
+		} else {
+			q.order = append(q.order, Order{Field: f})
+		}
+	}
+	return q
+}
+
+// Limit caps the result size.
+func (q *QuerySet) Limit(n int) *QuerySet {
+	q.limit = n
+	return q
+}
+
+// Offset skips the first n results.
+func (q *QuerySet) Offset(n int) *QuerySet {
+	q.offset = n
+	return q
+}
+
+// NoCache bypasses the interceptor for this query, forcing a database read
+// (strict-consistency opt-out).
+func (q *QuerySet) NoCache() *QuerySet {
+	q.noCache = true
+	return q
+}
+
+func (q *QuerySet) descriptor(kind QueryKind) *QueryDescriptor {
+	return &QueryDescriptor{
+		Kind:    kind,
+		Model:   q.model,
+		Filters: q.filters,
+		Join:    q.join,
+		Order:   q.order,
+		Limit:   q.limit,
+	}
+}
+
+// buildSelect renders the QuerySet to SQL and args.
+func (q *QuerySet) buildSelect(countOnly bool) (string, []sqldb.Value, error) {
+	var sb strings.Builder
+	var args []sqldb.Value
+	param := func(v sqldb.Value) string {
+		args = append(args, v)
+		return fmt.Sprintf("$%d", len(args))
+	}
+	sb.WriteString("SELECT ")
+	if countOnly {
+		sb.WriteString("COUNT(*)")
+	} else {
+		cols := q.model.FieldNames()
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(q.model.Table + "." + c)
+		}
+	}
+	var throughTable string
+	if q.join != nil {
+		through, err := q.reg.Model(q.join.ThroughModel)
+		if err != nil {
+			return "", nil, err
+		}
+		throughTable = through.Table
+		fmt.Fprintf(&sb, " FROM %s JOIN %s ON %s.%s = %s.%s",
+			throughTable, q.model.Table,
+			q.model.Table, q.join.TargetField,
+			throughTable, q.join.JoinField)
+	} else {
+		sb.WriteString(" FROM " + q.model.Table)
+	}
+	if len(q.filters) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, f := range q.filters {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			// Filters qualify to the through table when a join is active and
+			// the field belongs to it; otherwise to the model table.
+			qualifier := q.model.Table
+			if q.join != nil && q.fieldOnThrough(f.Field, throughTable) {
+				qualifier = throughTable
+			}
+			if f.Op == "in" {
+				ph := make([]string, len(f.List))
+				for j, v := range f.List {
+					ph[j] = param(v)
+				}
+				fmt.Fprintf(&sb, "%s.%s IN (%s)", qualifier, f.Field, strings.Join(ph, ", "))
+			} else {
+				fmt.Fprintf(&sb, "%s.%s %s %s", qualifier, f.Field, f.Op, param(f.Value))
+			}
+		}
+	}
+	if !countOnly && len(q.order) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.order {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s.%s", q.model.Table, o.Field)
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if !countOnly && q.limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.limit)
+	}
+	if !countOnly && q.offset > 0 {
+		fmt.Fprintf(&sb, " OFFSET %d", q.offset)
+	}
+	return sb.String(), args, nil
+}
+
+// fieldOnThrough reports whether field belongs to the join's through model.
+func (q *QuerySet) fieldOnThrough(field, throughTable string) bool {
+	through, err := q.reg.Model(q.join.ThroughModel)
+	if err != nil {
+		return false
+	}
+	_ = throughTable
+	for _, f := range through.Fields {
+		if f.Name == field {
+			return true
+		}
+	}
+	return field == "id"
+}
+
+// All executes the query and returns matching objects.
+func (q *QuerySet) All() ([]Object, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	if q.reg.interceptor != nil && !q.noCache && q.offset == 0 {
+		rows, handled, err := q.reg.interceptor.InterceptRows(q.descriptor(KindRows))
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			out := make([]Object, len(rows))
+			for i, r := range rows {
+				out[i] = q.reg.RowToObject(q.model, r)
+			}
+			return out, nil
+		}
+	}
+	sql, args, err := q.buildSelect(false)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := q.reg.conn.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Object, len(rs.Rows))
+	for i, r := range rs.Rows {
+		out[i] = q.reg.RowToObject(q.model, r)
+	}
+	return out, nil
+}
+
+// Get executes the query and returns exactly one object.
+func (q *QuerySet) Get() (Object, error) {
+	objs, err := q.All()
+	if err != nil {
+		return nil, err
+	}
+	switch len(objs) {
+	case 0:
+		return nil, ErrNotFound
+	case 1:
+		return objs[0], nil
+	default:
+		return nil, ErrMultiple
+	}
+}
+
+// Count executes the query as COUNT(*).
+func (q *QuerySet) Count() (int64, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	if q.reg.interceptor != nil && !q.noCache {
+		n, handled, err := q.reg.interceptor.InterceptCount(q.descriptor(KindCount))
+		if err != nil {
+			return 0, err
+		}
+		if handled {
+			return n, nil
+		}
+	}
+	sql, args, err := q.buildSelect(true)
+	if err != nil {
+		return 0, err
+	}
+	rs, err := q.reg.conn.Query(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	return rs.Rows[0][0].I, nil
+}
+
+// Update applies the given fields to every matching row (writes always go
+// to the database; triggers keep the cache consistent).
+func (q *QuerySet) Update(fields Fields) (int, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	if q.join != nil {
+		return 0, fmt.Errorf("orm: Update through a join is not supported")
+	}
+	var sb strings.Builder
+	var args []sqldb.Value
+	fmt.Fprintf(&sb, "UPDATE %s SET ", q.model.Table)
+	cols := make([]string, 0, len(fields))
+	for k := range fields {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		args = append(args, V(fields[c]))
+		fmt.Fprintf(&sb, "%s = $%d", c, len(args))
+	}
+	where, whereArgs, err := q.whereClause(len(args))
+	if err != nil {
+		return 0, err
+	}
+	sb.WriteString(where)
+	args = append(args, whereArgs...)
+	res, err := q.reg.conn.Exec(sb.String(), args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+// Delete removes every matching row.
+func (q *QuerySet) Delete() (int, error) {
+	if q.err != nil {
+		return 0, q.err
+	}
+	if q.join != nil {
+		return 0, fmt.Errorf("orm: Delete through a join is not supported")
+	}
+	where, args, err := q.whereClause(0)
+	if err != nil {
+		return 0, err
+	}
+	res, err := q.reg.conn.Exec("DELETE FROM "+q.model.Table+where, args...)
+	if err != nil {
+		return 0, err
+	}
+	return res.RowsAffected, nil
+}
+
+// whereClause renders the filters with parameters starting after
+// paramOffset.
+func (q *QuerySet) whereClause(paramOffset int) (string, []sqldb.Value, error) {
+	if len(q.filters) == 0 {
+		return "", nil, nil
+	}
+	var sb strings.Builder
+	var args []sqldb.Value
+	sb.WriteString(" WHERE ")
+	for i, f := range q.filters {
+		if i > 0 {
+			sb.WriteString(" AND ")
+		}
+		if f.Op == "in" {
+			ph := make([]string, len(f.List))
+			for j, v := range f.List {
+				args = append(args, v)
+				ph[j] = fmt.Sprintf("$%d", paramOffset+len(args))
+			}
+			fmt.Fprintf(&sb, "%s IN (%s)", f.Field, strings.Join(ph, ", "))
+		} else {
+			args = append(args, f.Value)
+			fmt.Fprintf(&sb, "%s %s $%d", f.Field, f.Op, paramOffset+len(args))
+		}
+	}
+	return sb.String(), args, nil
+}

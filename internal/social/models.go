@@ -1,0 +1,307 @@
+// Package social is the evaluation application: a Pinax-style social
+// networking suite (profiles, friends, bookmarks, wall posts) ported to
+// CacheGenie, mirroring the applications the paper drives in §5. It defines
+// the schema, the 14 cached objects of the port (§5.2), seeding, and the
+// four user actions the workload exercises: LookupBM, LookupFBM, CreateBM
+// and AcceptFR, plus Login/Logout.
+package social
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cachegenie/internal/core"
+	"cachegenie/internal/orm"
+	"cachegenie/internal/sqldb"
+)
+
+// Invitation status values.
+const (
+	InviteStatusPending  = "pending"
+	InviteStatusAccepted = "accepted"
+)
+
+// RegisterModels declares the social schema on reg.
+func RegisterModels(reg *orm.Registry) error {
+	defs := []*orm.ModelDef{
+		{
+			Name:  "User",
+			Table: "auth_user",
+			Fields: []orm.FieldDef{
+				{Name: "username", Type: sqldb.TypeText, NotNull: true},
+				{Name: "active", Type: sqldb.TypeBool},
+				{Name: "last_login", Type: sqldb.TypeTime},
+			},
+			Unique: [][]string{{"username"}},
+		},
+		{
+			Name:  "Profile",
+			Table: "profiles",
+			Fields: []orm.FieldDef{
+				{Name: "user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "name", Type: sqldb.TypeText},
+				{Name: "about", Type: sqldb.TypeText},
+				{Name: "location", Type: sqldb.TypeText},
+				{Name: "website", Type: sqldb.TypeText},
+			},
+			Unique: [][]string{{"user_id"}},
+		},
+		{
+			Name:  "Friendship",
+			Table: "friends",
+			Fields: []orm.FieldDef{
+				{Name: "from_user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "to_user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "since", Type: sqldb.TypeTime},
+			},
+			Indexes: [][]string{{"from_user_id"}, {"to_user_id"}},
+		},
+		{
+			Name:  "FriendInvitation",
+			Table: "friend_invitations",
+			Fields: []orm.FieldDef{
+				{Name: "from_user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "to_user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "message", Type: sqldb.TypeText},
+				{Name: "status", Type: sqldb.TypeText, NotNull: true},
+				{Name: "sent_at", Type: sqldb.TypeTime},
+			},
+			Indexes: [][]string{{"to_user_id", "status"}, {"from_user_id"}},
+		},
+		{
+			Name:  "Bookmark",
+			Table: "bookmarks",
+			Fields: []orm.FieldDef{
+				{Name: "url", Type: sqldb.TypeText, NotNull: true},
+				{Name: "description", Type: sqldb.TypeText},
+				{Name: "added_at", Type: sqldb.TypeTime},
+			},
+			Unique: [][]string{{"url"}},
+		},
+		{
+			Name:  "BookmarkInstance",
+			Table: "bookmark_instances",
+			Fields: []orm.FieldDef{
+				{Name: "bookmark_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "note", Type: sqldb.TypeText},
+				{Name: "saved_at", Type: sqldb.TypeTime},
+			},
+			Indexes: [][]string{{"user_id"}, {"bookmark_id"}, {"user_id", "saved_at"}},
+		},
+		{
+			Name:  "WallPost",
+			Table: "wall",
+			Fields: []orm.FieldDef{
+				{Name: "user_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "sender_id", Type: sqldb.TypeInt, NotNull: true},
+				{Name: "content", Type: sqldb.TypeText},
+				{Name: "date_posted", Type: sqldb.TypeTime},
+			},
+			Indexes: [][]string{{"user_id"}, {"user_id", "date_posted"}},
+		},
+	}
+	for _, d := range defs {
+		if err := reg.Register(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TopKWallPosts is the K of the latest-wall-posts cached object (paper's
+// example uses 20).
+const TopKWallPosts = 20
+
+// TopKBookmarks is the K of the latest-bookmarks cached object.
+const TopKBookmarks = 10
+
+// CachedObjectSpecs returns the 14 cached-object declarations of the Pinax
+// port (paper §5.2: "we added 14 cached objects"), parameterized by the
+// consistency strategy under test.
+func CachedObjectSpecs(strategy core.Strategy) []core.Spec {
+	return []core.Spec{
+		{Name: "user_by_username", Class: core.FeatureQuery, MainModel: "User",
+			WhereFields: []string{"username"}, Strategy: strategy},
+		{Name: "user_by_id", Class: core.FeatureQuery, MainModel: "User",
+			WhereFields: []string{"id"}, Strategy: strategy},
+		{Name: "profile_of_user", Class: core.FeatureQuery, MainModel: "Profile",
+			WhereFields: []string{"user_id"}, Strategy: strategy},
+		{Name: "friends_of_user", Class: core.FeatureQuery, MainModel: "Friendship",
+			WhereFields: []string{"from_user_id"}, Strategy: strategy},
+		{Name: "friend_count", Class: core.CountQuery, MainModel: "Friendship",
+			WhereFields: []string{"from_user_id"}, Strategy: strategy},
+		{Name: "pending_invites", Class: core.FeatureQuery, MainModel: "FriendInvitation",
+			WhereFields: []string{"to_user_id", "status"}, Strategy: strategy},
+		{Name: "pending_invite_count", Class: core.CountQuery, MainModel: "FriendInvitation",
+			WhereFields: []string{"to_user_id", "status"}, Strategy: strategy},
+		{Name: "bookmarks_of_user", Class: core.FeatureQuery, MainModel: "BookmarkInstance",
+			WhereFields: []string{"user_id"}, Strategy: strategy},
+		{Name: "bookmark_count_of_user", Class: core.CountQuery, MainModel: "BookmarkInstance",
+			WhereFields: []string{"user_id"}, Strategy: strategy},
+		{Name: "bookmark_by_id", Class: core.FeatureQuery, MainModel: "Bookmark",
+			WhereFields: []string{"id"}, Strategy: strategy},
+		{Name: "bookmark_save_count", Class: core.CountQuery, MainModel: "BookmarkInstance",
+			WhereFields: []string{"bookmark_id"}, Strategy: strategy},
+		{Name: "friend_bookmarks", Class: core.LinkQuery, MainModel: "BookmarkInstance",
+			WhereFields: []string{"from_user_id"}, Strategy: strategy,
+			Link: &core.Link{
+				ThroughModel: "Friendship", SourceField: "from_user_id",
+				JoinField: "to_user_id", TargetField: "user_id",
+			}},
+		{Name: "latest_wall_posts", Class: core.TopKQuery, MainModel: "WallPost",
+			WhereFields: []string{"user_id"}, Strategy: strategy,
+			SortField: "date_posted", SortDesc: true, K: TopKWallPosts},
+		{Name: "latest_user_bookmarks", Class: core.TopKQuery, MainModel: "BookmarkInstance",
+			WhereFields: []string{"user_id"}, Strategy: strategy,
+			SortField: "saved_at", SortDesc: true, K: TopKBookmarks},
+	}
+}
+
+// App binds the social application to a stack.
+type App struct {
+	Reg   *orm.Registry
+	Genie *core.Genie
+	// Objects holds the declared cached objects by name (empty when the
+	// stack runs without caching).
+	Objects map[string]*core.CachedObject
+	// NumUsers is set by Seed.
+	NumUsers int
+	// clock provides monotonic-ish timestamps for posts and bookmarks.
+	clock func() time.Time
+}
+
+// NewApp wires the application. If genie is non-nil, the 14 cached objects
+// are declared with the given strategy (this is the entire porting effort —
+// the page handlers below are identical with and without CacheGenie, which
+// is the paper's §5.2 point).
+func NewApp(reg *orm.Registry, genie *core.Genie, strategy core.Strategy) (*App, error) {
+	app := &App{
+		Reg:     reg,
+		Genie:   genie,
+		Objects: map[string]*core.CachedObject{},
+		clock:   time.Now,
+	}
+	if genie != nil {
+		for _, spec := range CachedObjectSpecs(strategy) {
+			co, err := genie.Cacheable(spec)
+			if err != nil {
+				return nil, fmt.Errorf("social: declaring %s: %w", spec.Name, err)
+			}
+			app.Objects[spec.Name] = co
+		}
+	}
+	return app, nil
+}
+
+// SeedConfig scales the initial dataset (the paper's: 1M users, 1000 unique
+// bookmarks, 1-20 instances per bookmark... scaled down by default).
+type SeedConfig struct {
+	Users           int
+	UniqueBookmarks int
+	MaxBookmarksPer int // per user
+	MaxFriendsPer   int
+	MaxInvitesPer   int
+	MaxWallPosts    int
+}
+
+// DefaultSeed is a laptop-scale dataset preserving the paper's ratios.
+func DefaultSeed() SeedConfig {
+	return SeedConfig{
+		Users:           400,
+		UniqueBookmarks: 100,
+		MaxBookmarksPer: 8,
+		MaxFriendsPer:   10,
+		MaxInvitesPer:   6,
+		MaxWallPosts:    12,
+	}
+}
+
+// Seed populates the database. It is deterministic for a given rng seed.
+func (a *App) Seed(cfg SeedConfig, rng *rand.Rand) error {
+	base := time.Date(2011, 12, 1, 0, 0, 0, 0, time.UTC)
+	tick := 0
+	next := func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * time.Second)
+	}
+	for b := 1; b <= cfg.UniqueBookmarks; b++ {
+		_, err := a.Reg.Insert("Bookmark", orm.Fields{
+			"url":         fmt.Sprintf("https://example.com/page/%d", b),
+			"description": fmt.Sprintf("bookmark %d", b),
+			"added_at":    next(),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for u := 1; u <= cfg.Users; u++ {
+		if _, err := a.Reg.Insert("User", orm.Fields{
+			"username": fmt.Sprintf("user%d", u), "active": true, "last_login": next(),
+		}); err != nil {
+			return err
+		}
+		if _, err := a.Reg.Insert("Profile", orm.Fields{
+			"user_id": u, "name": fmt.Sprintf("User %d", u),
+			"about": "about me", "location": "Cambridge, MA",
+			"website": fmt.Sprintf("https://example.org/~user%d", u),
+		}); err != nil {
+			return err
+		}
+		for i, n := 0, 1+rng.Intn(cfg.MaxBookmarksPer); i < n; i++ {
+			if _, err := a.Reg.Insert("BookmarkInstance", orm.Fields{
+				"bookmark_id": 1 + rng.Intn(cfg.UniqueBookmarks),
+				"user_id":     u,
+				"note":        "saved",
+				"saved_at":    next(),
+			}); err != nil {
+				return err
+			}
+		}
+		for i, n := 0, 1+rng.Intn(cfg.MaxWallPosts); i < n; i++ {
+			if _, err := a.Reg.Insert("WallPost", orm.Fields{
+				"user_id": u, "sender_id": 1 + rng.Intn(cfg.Users),
+				"content": fmt.Sprintf("post %d for %d", i, u), "date_posted": next(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Friendships (symmetric pairs) and pending invitations need the full
+	// user range to exist first.
+	for u := 1; u <= cfg.Users; u++ {
+		for i, n := 0, 1+rng.Intn(cfg.MaxFriendsPer); i < n; i++ {
+			v := 1 + rng.Intn(cfg.Users)
+			if v == u {
+				continue
+			}
+			ts := next()
+			if _, err := a.Reg.Insert("Friendship", orm.Fields{
+				"from_user_id": u, "to_user_id": v, "since": ts,
+			}); err != nil {
+				return err
+			}
+			if _, err := a.Reg.Insert("Friendship", orm.Fields{
+				"from_user_id": v, "to_user_id": u, "since": ts,
+			}); err != nil {
+				return err
+			}
+		}
+		for i, n := 0, 1+rng.Intn(cfg.MaxInvitesPer); i < n; i++ {
+			v := 1 + rng.Intn(cfg.Users)
+			if v == u {
+				continue
+			}
+			if _, err := a.Reg.Insert("FriendInvitation", orm.Fields{
+				"from_user_id": v, "to_user_id": u,
+				"message": "be my friend", "status": InviteStatusPending,
+				"sent_at": next(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	a.NumUsers = cfg.Users
+	return nil
+}

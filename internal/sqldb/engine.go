@@ -1,0 +1,478 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachegenie/internal/latency"
+	"cachegenie/internal/sqlparse"
+	"cachegenie/internal/storage"
+)
+
+// TriggerOp identifies the mutating operation a trigger fires on.
+type TriggerOp int
+
+// Trigger operations.
+const (
+	TrigInsert TriggerOp = iota + 1
+	TrigUpdate
+	TrigDelete
+)
+
+var trigOpNames = map[TriggerOp]string{
+	TrigInsert: "INSERT", TrigUpdate: "UPDATE", TrigDelete: "DELETE",
+}
+
+// String implements fmt.Stringer.
+func (op TriggerOp) String() string { return trigOpNames[op] }
+
+// TriggerEvent carries the modified row(s) to a trigger function, mirroring
+// the OLD/NEW row views PL/Python triggers receive in Postgres.
+type TriggerEvent struct {
+	Table  string
+	Op     TriggerOp
+	Schema *Schema
+	Old    Row // set for UPDATE and DELETE
+	New    Row // set for INSERT and UPDATE
+}
+
+// Queryer runs read queries. Triggers receive the enclosing transaction as a
+// Queryer so re-entrant reads (e.g. a top-K recomputation) share its locks.
+type Queryer interface {
+	Query(sql string, args ...Value) (*ResultSet, error)
+}
+
+// TriggerFunc is the body of a trigger. An error aborts the statement that
+// fired it, exactly like raising an exception inside a Postgres trigger.
+type TriggerFunc func(q Queryer, ev TriggerEvent) error
+
+// Trigger is a row-level AFTER trigger.
+type Trigger struct {
+	Name  string
+	Table string
+	Op    TriggerOp
+	Fn    TriggerFunc
+	// ReadsTables declares the tables Fn may query. The engine pre-locks
+	// them (shared) together with the trigger's own table, in sorted name
+	// order, before executing the mutating statement — making single-
+	// statement transactions deadlock-free even when triggers on different
+	// tables read each other's tables.
+	ReadsTables []string
+	// Source is the generated, human-readable trigger program. The engine
+	// does not interpret it; CacheGenie generates it alongside Fn so the
+	// paper's programmer-effort metrics (§5.2: 48 triggers, ~1720 lines) are
+	// measurable on this implementation.
+	Source string
+}
+
+// Result reports the effects of a mutating statement.
+type Result struct {
+	RowsAffected int
+	LastInsertID int64
+	// Returning holds rows requested by INSERT ... RETURNING.
+	Returning [][]Value
+}
+
+// ResultSet is the outcome of a query.
+type ResultSet struct {
+	Columns []string
+	Rows    []Row
+}
+
+// Stats counts engine activity; all fields are cumulative.
+type Stats struct {
+	Selects       int64
+	Inserts       int64
+	Updates       int64
+	Deletes       int64
+	TriggersFired int64
+	TxnsCommitted int64
+	TxnsAborted   int64
+}
+
+// Config configures a DB.
+type Config struct {
+	// BufferPoolPages is the buffer pool capacity (default 4096 pages,
+	// i.e. 32 MiB of 8 KiB pages).
+	BufferPoolPages int
+	// DiskWidth bounds concurrent simulated-disk requests (default 2).
+	DiskWidth int
+	// CPUWidth bounds statements concurrently consuming the injected DBCPU
+	// cost, modelling the database box's cores (default 4). Only matters
+	// when Latency.DBCPU is nonzero.
+	CPUWidth int
+	// Latency is the injected cost model (zero: no injected cost).
+	Latency latency.Model
+	// Sleeper implements time passage for injected costs (default real).
+	Sleeper latency.Sleeper
+	// LockTimeout bounds lock waits (default 5s).
+	LockTimeout time.Duration
+}
+
+// DB is the database engine. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex // guards catalog maps
+	disk   *storage.Disk
+	pool   *storage.BufferPool
+	tables map[string]*table
+	locks  map[string]*tableLock
+	// triggers[table][op] is the ordered trigger list.
+	triggers map[string]map[TriggerOp][]*Trigger
+
+	model           latency.Model
+	cpuGate         chan struct{}
+	sleeper         latency.Sleeper
+	lockTimeout     time.Duration
+	triggersEnabled atomic.Bool
+	nextTxn         atomic.Int64
+
+	statSelects  atomic.Int64
+	statInserts  atomic.Int64
+	statUpdates  atomic.Int64
+	statDeletes  atomic.Int64
+	statTriggers atomic.Int64
+	statCommits  atomic.Int64
+	statAborts   atomic.Int64
+}
+
+// maxTriggerDepth bounds trigger-initiated writes re-firing triggers.
+const maxTriggerDepth = 4
+
+// Open creates a new empty database.
+func Open(cfg Config) *DB {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 4096
+	}
+	if cfg.DiskWidth <= 0 {
+		cfg.DiskWidth = 2
+	}
+	if cfg.CPUWidth <= 0 {
+		cfg.CPUWidth = 4
+	}
+	if cfg.Sleeper == nil {
+		cfg.Sleeper = latency.RealSleeper{}
+	}
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 5 * time.Second
+	}
+	disk := storage.NewDiskModel(cfg.Latency, cfg.Sleeper, cfg.DiskWidth)
+	db := &DB{
+		disk:        disk,
+		pool:        storage.NewBufferPool(disk, cfg.BufferPoolPages),
+		tables:      make(map[string]*table),
+		locks:       make(map[string]*tableLock),
+		triggers:    make(map[string]map[TriggerOp][]*Trigger),
+		model:       cfg.Latency,
+		cpuGate:     make(chan struct{}, cfg.CPUWidth),
+		sleeper:     cfg.Sleeper,
+		lockTimeout: cfg.LockTimeout,
+	}
+	db.triggersEnabled.Store(true)
+	return db
+}
+
+// BufferPool exposes the pool for experiment instrumentation (resize,
+// stats). Production callers should not need it.
+func (db *DB) BufferPool() *storage.BufferPool { return db.pool }
+
+// Stats returns a snapshot of engine counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Selects:       db.statSelects.Load(),
+		Inserts:       db.statInserts.Load(),
+		Updates:       db.statUpdates.Load(),
+		Deletes:       db.statDeletes.Load(),
+		TriggersFired: db.statTriggers.Load(),
+		TxnsCommitted: db.statCommits.Load(),
+		TxnsAborted:   db.statAborts.Load(),
+	}
+}
+
+// SetTriggersEnabled toggles trigger firing globally. Experiment 5 measures
+// trigger overhead by replaying the workload with triggers disabled (the
+// paper's "ideal system").
+func (db *DB) SetTriggersEnabled(on bool) { db.triggersEnabled.Store(on) }
+
+// TriggersEnabled reports the toggle state.
+func (db *DB) TriggersEnabled() bool { return db.triggersEnabled.Load() }
+
+func (db *DB) lockFor(tableName string) *tableLock {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l, ok := db.locks[tableName]
+	if !ok {
+		l = newTableLock()
+		db.locks[tableName] = l
+	}
+	return l
+}
+
+func (db *DB) table(name string) (*table, error) {
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no such table %q", name)
+	}
+	return t, nil
+}
+
+// Tables lists table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns the named table's schema.
+func (db *DB) Schema(table string) (*Schema, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.schema, nil
+}
+
+// NumRows reports a table's row count (no locking; approximate under
+// concurrency).
+func (db *DB) NumRows(table string) (int, error) {
+	t, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.rows, nil
+}
+
+// CreateTrigger installs a row-level AFTER trigger. Triggers on one table
+// and op fire in installation order.
+func (db *DB) CreateTrigger(tr Trigger) error {
+	if tr.Fn == nil {
+		return errors.New("sqldb: trigger has no function")
+	}
+	if _, err := db.table(tr.Table); err != nil {
+		return err
+	}
+	switch tr.Op {
+	case TrigInsert, TrigUpdate, TrigDelete:
+	default:
+		return fmt.Errorf("sqldb: bad trigger op %d", int(tr.Op))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	byOp, ok := db.triggers[tr.Table]
+	if !ok {
+		byOp = make(map[TriggerOp][]*Trigger)
+		db.triggers[tr.Table] = byOp
+	}
+	for _, existing := range byOp[tr.Op] {
+		if existing.Name == tr.Name {
+			return fmt.Errorf("sqldb: trigger %q already exists on %s %s", tr.Name, tr.Table, tr.Op)
+		}
+	}
+	cp := tr
+	byOp[tr.Op] = append(byOp[tr.Op], &cp)
+	return nil
+}
+
+// DropTrigger removes the named trigger from a table (all ops).
+func (db *DB) DropTrigger(table, name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := false
+	for op, list := range db.triggers[table] {
+		keep := list[:0]
+		for _, tr := range list {
+			if tr.Name == name {
+				dropped = true
+				continue
+			}
+			keep = append(keep, tr)
+		}
+		db.triggers[table][op] = keep
+	}
+	return dropped
+}
+
+// Triggers returns the installed triggers for a table and op (nil-safe).
+func (db *DB) Triggers(table string, op TriggerOp) []*Trigger {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]*Trigger(nil), db.triggers[table][op]...)
+}
+
+// AllTriggers returns every installed trigger.
+func (db *DB) AllTriggers() []*Trigger {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*Trigger
+	for _, byOp := range db.triggers {
+		for _, list := range byOp {
+			out = append(out, list...)
+		}
+	}
+	return out
+}
+
+func (db *DB) fireTriggers(tx *Txn, ev TriggerEvent) error {
+	if !db.triggersEnabled.Load() || tx.depth >= maxTriggerDepth {
+		return nil
+	}
+	db.mu.RLock()
+	list := db.triggers[ev.Table][ev.Op]
+	db.mu.RUnlock()
+	if len(list) == 0 {
+		return nil
+	}
+	tx.depth++
+	defer func() { tx.depth-- }()
+	for _, tr := range list {
+		db.statTriggers.Add(1)
+		if err := tr.Fn(tx, ev); err != nil {
+			return fmt.Errorf("sqldb: trigger %q on %s %s: %w", tr.Name, ev.Table, ev.Op, err)
+		}
+	}
+	return nil
+}
+
+// lockForWrite acquires the locks a mutating statement on table needs:
+// exclusive on the table itself plus shared on every table its triggers
+// declare they read, all in sorted name order to prevent deadlocks.
+func (tx *Txn) lockForWrite(table string, op TriggerOp) error {
+	names := []string{table}
+	if tx.db.triggersEnabled.Load() {
+		tx.db.mu.RLock()
+		for _, tr := range tx.db.triggers[table][op] {
+			names = append(names, tr.ReadsTables...)
+		}
+		tx.db.mu.RUnlock()
+	}
+	sort.Strings(names)
+	prev := ""
+	for _, n := range names {
+		if n == prev {
+			continue
+		}
+		prev = n
+		mode := lockShared
+		if n == table {
+			mode = lockExclusive
+		}
+		if err := tx.lockTable(n, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{
+		db:    db,
+		id:    db.nextTxn.Add(1),
+		locks: map[string]lockMode{},
+	}
+}
+
+// chargeStatement injects the per-statement network and CPU cost. The CPU
+// charge passes through a bounded gate so concurrent statements contend for
+// the database box's cores; this is what makes the NoCache configuration
+// CPU-bound under load, as in the paper's Experiment 1.
+func (db *DB) chargeStatement() {
+	if db.model.DBRoundTrip > 0 {
+		db.sleeper.Sleep(db.model.DBRoundTrip)
+	}
+	if db.model.DBCPU > 0 {
+		db.cpuGate <- struct{}{}
+		db.sleeper.Sleep(db.model.DBCPU)
+		<-db.cpuGate
+	}
+}
+
+// Exec parses and executes one statement in autocommit mode.
+func (db *DB) Exec(sql string, args ...Value) (Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.ExecAST(st, args...)
+}
+
+// ExecAST executes a parsed statement in autocommit mode.
+func (db *DB) ExecAST(st sqlparse.Statement, args ...Value) (Result, error) {
+	switch st.(type) {
+	case *sqlparse.Begin, *sqlparse.Commit, *sqlparse.Rollback:
+		return Result{}, errors.New("sqldb: use Begin()/Commit()/Rollback() methods for transaction control")
+	}
+	tx := db.Begin()
+	res, err := tx.execAST(st, args...)
+	if err != nil {
+		_ = tx.Rollback()
+		db.statAborts.Add(1)
+		return Result{}, err
+	}
+	if err := tx.Commit(); err != nil {
+		return Result{}, err
+	}
+	db.statCommits.Add(1)
+	return res, nil
+}
+
+// Query parses and runs a SELECT in autocommit mode.
+func (db *DB) Query(sql string, args ...Value) (*ResultSet, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query needs a SELECT, got %T", st)
+	}
+	return db.QueryAST(sel, args...)
+}
+
+// QueryAST runs a parsed SELECT in autocommit mode.
+func (db *DB) QueryAST(sel *sqlparse.Select, args ...Value) (*ResultSet, error) {
+	tx := db.Begin()
+	defer func() { _ = tx.Rollback() }()
+	rs, err := tx.querySelect(sel, args...)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Exec executes one mutating statement inside the transaction.
+func (tx *Txn) Exec(sql string, args ...Value) (Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return tx.execAST(st, args...)
+}
+
+// Query runs a SELECT inside the transaction. It implements Queryer.
+func (tx *Txn) Query(sql string, args ...Value) (*ResultSet, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query needs a SELECT, got %T", st)
+	}
+	return tx.querySelect(sel, args...)
+}
+
+var _ Queryer = (*Txn)(nil)

@@ -1,0 +1,650 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestDB(t testing.TB) *DB {
+	t.Helper()
+	return Open(Config{})
+}
+
+func mustExec(t testing.TB, db *DB, sql string, args ...Value) Result {
+	t.Helper()
+	res, err := db.Exec(sql, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func mustQuery(t testing.TB, db *DB, sql string, args ...Value) *ResultSet {
+	t.Helper()
+	rs, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return rs
+}
+
+func setupWall(t testing.TB, db *DB) {
+	t.Helper()
+	mustExec(t, db, `CREATE TABLE wall (
+		id BIGINT PRIMARY KEY,
+		user_id BIGINT NOT NULL,
+		content TEXT,
+		sender_id BIGINT,
+		date_posted TIMESTAMP
+	)`)
+	mustExec(t, db, "CREATE INDEX idx_wall_user ON wall (user_id)")
+}
+
+func TestCreateTableImplicitID(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE notes (body TEXT)")
+	s, err := db.Schema("notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PKName() != "id" || s.PKIndex != 0 {
+		t.Fatalf("schema = %+v", s)
+	}
+	res := mustExec(t, db, "INSERT INTO notes (body) VALUES ('hello')")
+	if res.LastInsertID != 1 {
+		t.Fatalf("LastInsertID = %d", res.LastInsertID)
+	}
+	res = mustExec(t, db, "INSERT INTO notes (body) VALUES ('two')")
+	if res.LastInsertID != 2 {
+		t.Fatalf("second LastInsertID = %d", res.LastInsertID)
+	}
+}
+
+func TestInsertSelectRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	mustExec(t, db, "INSERT INTO wall (user_id, content, sender_id, date_posted) VALUES (42, 'hi', 7, $1)",
+		Time(time.Unix(1000, 0)))
+	rs := mustQuery(t, db, "SELECT * FROM wall WHERE user_id = 42")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	if got := rs.Rows[0][2].S; got != "hi" {
+		t.Fatalf("content = %q", got)
+	}
+	if rs.Columns[0] != "id" || rs.Columns[1] != "user_id" {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+}
+
+func TestSelectProjectionAndParams(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	for i := 1; i <= 5; i++ {
+		mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES ($1, $2)",
+			I64(int64(i%2)), Str(fmt.Sprintf("post-%d", i)))
+	}
+	rs := mustQuery(t, db, "SELECT content FROM wall WHERE user_id = $1", I64(1))
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	if len(rs.Columns) != 1 || rs.Columns[0] != "content" {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (1, 'a')")
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (1, 'b')")
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (2, 'c')")
+	res := mustExec(t, db, "UPDATE wall SET content = 'edited' WHERE user_id = 1")
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	rs := mustQuery(t, db, "SELECT content FROM wall WHERE user_id = 2")
+	if rs.Rows[0][0].S != "c" {
+		t.Fatal("update leaked to other rows")
+	}
+}
+
+func TestUpdateArithmetic(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE counters (n INT NOT NULL)")
+	mustExec(t, db, "INSERT INTO counters (n) VALUES (10)")
+	mustExec(t, db, "UPDATE counters SET n = n + 5 WHERE id = 1")
+	mustExec(t, db, "UPDATE counters SET n = n - 2 WHERE id = 1")
+	rs := mustQuery(t, db, "SELECT n FROM counters WHERE id = 1")
+	if rs.Rows[0][0].I != 13 {
+		t.Fatalf("n = %d", rs.Rows[0][0].I)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (1, 'a')")
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (2, 'b')")
+	res := mustExec(t, db, "DELETE FROM wall WHERE user_id = 1")
+	if res.RowsAffected != 1 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM wall")
+	if rs.Rows[0][0].I != 1 {
+		t.Fatalf("count = %d", rs.Rows[0][0].I)
+	}
+}
+
+func TestCountWhere(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES ($1, 'x')", I64(int64(i%3)))
+	}
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM wall WHERE user_id = 0")
+	if rs.Rows[0][0].I != 4 {
+		t.Fatalf("count = %d", rs.Rows[0][0].I)
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	base := time.Unix(5000, 0)
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "INSERT INTO wall (user_id, content, date_posted) VALUES (1, $1, $2)",
+			Str(fmt.Sprintf("p%d", i)), Time(base.Add(time.Duration(i)*time.Minute)))
+	}
+	rs := mustQuery(t, db, "SELECT content FROM wall WHERE user_id = 1 ORDER BY date_posted DESC LIMIT 3")
+	want := []string{"p9", "p8", "p7"}
+	for i, w := range want {
+		if rs.Rows[i][0].S != w {
+			t.Fatalf("row %d = %q, want %q", i, rs.Rows[i][0].S, w)
+		}
+	}
+	rs = mustQuery(t, db, "SELECT content FROM wall WHERE user_id = 1 ORDER BY date_posted DESC LIMIT 3 OFFSET 2")
+	if rs.Rows[0][0].S != "p7" {
+		t.Fatalf("offset row = %q", rs.Rows[0][0].S)
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE users (name TEXT NOT NULL)")
+	mustExec(t, db, "CREATE TABLE profiles (user_id BIGINT NOT NULL, bio TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_prof_user ON profiles (user_id)")
+	for i := 1; i <= 3; i++ {
+		mustExec(t, db, "INSERT INTO users (name) VALUES ($1)", Str(fmt.Sprintf("u%d", i)))
+		mustExec(t, db, "INSERT INTO profiles (user_id, bio) VALUES ($1, $2)",
+			I64(int64(i)), Str(fmt.Sprintf("bio%d", i)))
+	}
+	rs := mustQuery(t, db,
+		"SELECT users.name, profiles.bio FROM users JOIN profiles ON profiles.user_id = users.id WHERE users.id = 2")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "u2" || rs.Rows[0][1].S != "bio2" {
+		t.Fatalf("rows = %+v", rs.Rows)
+	}
+}
+
+func TestJoinChainThreeTables(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE users (name TEXT)")
+	mustExec(t, db, "CREATE TABLE groups (name TEXT)")
+	mustExec(t, db, "CREATE TABLE membership (user_id BIGINT NOT NULL, group_id BIGINT NOT NULL)")
+	mustExec(t, db, "CREATE INDEX idx_m_user ON membership (user_id)")
+	mustExec(t, db, "CREATE INDEX idx_m_group ON membership (group_id)")
+	mustExec(t, db, "INSERT INTO users (name) VALUES ('alice')")
+	mustExec(t, db, "INSERT INTO users (name) VALUES ('bob')")
+	mustExec(t, db, "INSERT INTO groups (name) VALUES ('go')")
+	mustExec(t, db, "INSERT INTO groups (name) VALUES ('dbs')")
+	// alice in both groups, bob in dbs only.
+	mustExec(t, db, "INSERT INTO membership (user_id, group_id) VALUES (1, 1)")
+	mustExec(t, db, "INSERT INTO membership (user_id, group_id) VALUES (1, 2)")
+	mustExec(t, db, "INSERT INTO membership (user_id, group_id) VALUES (2, 2)")
+	rs := mustQuery(t, db,
+		"SELECT groups.name FROM membership JOIN groups ON membership.group_id = groups.id JOIN users ON membership.user_id = users.id WHERE users.name = 'alice' ORDER BY groups.name")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "dbs" || rs.Rows[1][0].S != "go" {
+		t.Fatalf("rows = %+v", rs.Rows)
+	}
+}
+
+func TestInPredicate(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	for i := 1; i <= 6; i++ {
+		mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES ($1, 'x')", I64(int64(i)))
+	}
+	rs := mustQuery(t, db, "SELECT user_id FROM wall WHERE user_id IN (2, 4, 9)")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (NULL, 'has-null')")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 'no-null')")
+	// NULL never matches equality.
+	rs := mustQuery(t, db, "SELECT b FROM t WHERE a = 1")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rs.Rows))
+	}
+	rs = mustQuery(t, db, "SELECT b FROM t WHERE a IS NULL")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "has-null" {
+		t.Fatalf("IS NULL rows = %+v", rs.Rows)
+	}
+	rs = mustQuery(t, db, "SELECT b FROM t WHERE a IS NOT NULL")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "no-null" {
+		t.Fatalf("IS NOT NULL rows = %+v", rs.Rows)
+	}
+}
+
+func TestNotNullViolation(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	if _, err := db.Exec("INSERT INTO wall (content) VALUES ('orphan')"); !errors.Is(err, ErrNullViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUniqueIndexViolation(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE users (email TEXT NOT NULL)")
+	mustExec(t, db, "CREATE UNIQUE INDEX idx_email ON users (email)")
+	mustExec(t, db, "INSERT INTO users (email) VALUES ('a@x.com')")
+	if _, err := db.Exec("INSERT INTO users (email) VALUES ('a@x.com')"); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed autocommit insert must leave no residue.
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM users")
+	if rs.Rows[0][0].I != 1 {
+		t.Fatalf("count = %d", rs.Rows[0][0].I)
+	}
+}
+
+func TestReturning(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	res := mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (9, 'r') RETURNING id, content")
+	if len(res.Returning) != 1 || res.Returning[0][0].I != 1 || res.Returning[0][1].S != "r" {
+		t.Fatalf("returning = %+v", res.Returning)
+	}
+}
+
+func TestTxnCommitAndRollback(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO wall (user_id, content) VALUES (1, 'kept')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = db.Begin()
+	if _, err := tx.Exec("INSERT INTO wall (user_id, content) VALUES (1, 'dropped')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE wall SET content = 'mutated' WHERE user_id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs := mustQuery(t, db, "SELECT content FROM wall WHERE user_id = 1")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "kept" {
+		t.Fatalf("after rollback rows = %+v", rs.Rows)
+	}
+}
+
+func TestTxnRollbackRestoresIndexes(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (5, 'orig')")
+	tx := db.Begin()
+	if _, err := tx.Exec("UPDATE wall SET user_id = 6 WHERE user_id = 5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, db, "SELECT content FROM wall WHERE user_id = 5")
+	if len(rs.Rows) != 1 {
+		t.Fatal("index lookup after rollback failed")
+	}
+	rs = mustQuery(t, db, "SELECT COUNT(*) FROM wall WHERE user_id = 6")
+	if rs.Rows[0][0].I != 0 {
+		t.Fatal("stale index entry after rollback")
+	}
+}
+
+func TestTxnIsolationWriteBlocksRead(t *testing.T) {
+	db := Open(Config{LockTimeout: 200 * time.Millisecond})
+	setupWall(t, db)
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (1, 'x')")
+
+	tx := db.Begin()
+	if _, err := tx.Exec("UPDATE wall SET content = 'y' WHERE user_id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent reader must block and time out while the writer holds
+	// the exclusive lock.
+	_, err := db.Query("SELECT * FROM wall WHERE user_id = 1")
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("reader err = %v, want lock timeout", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rs := mustQuery(t, db, "SELECT content FROM wall WHERE user_id = 1")
+	if rs.Rows[0][0].S != "y" {
+		t.Fatal("committed write not visible")
+	}
+}
+
+func TestTxnDoneErrors(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	tx := db.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO wall (user_id) VALUES (1)"); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatalf("rollback after commit should be no-op, got %v", err)
+	}
+}
+
+func TestTriggerFiresOnInsertUpdateDelete(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	var mu sync.Mutex
+	events := []string{}
+	record := func(op TriggerOp) TriggerFunc {
+		return func(q Queryer, ev TriggerEvent) error {
+			mu.Lock()
+			defer mu.Unlock()
+			switch op {
+			case TrigInsert:
+				events = append(events, "ins:"+ev.New[2].S)
+			case TrigUpdate:
+				events = append(events, "upd:"+ev.Old[2].S+"->"+ev.New[2].S)
+			case TrigDelete:
+				events = append(events, "del:"+ev.Old[2].S)
+			}
+			return nil
+		}
+	}
+	for _, op := range []TriggerOp{TrigInsert, TrigUpdate, TrigDelete} {
+		if err := db.CreateTrigger(Trigger{
+			Name: "t_" + op.String(), Table: "wall", Op: op, Fn: record(op),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (1, 'a')")
+	mustExec(t, db, "UPDATE wall SET content = 'b' WHERE user_id = 1")
+	mustExec(t, db, "DELETE FROM wall WHERE user_id = 1")
+	want := []string{"ins:a", "upd:a->b", "del:b"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+func TestTriggerErrorAbortsStatement(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	if err := db.CreateTrigger(Trigger{
+		Name: "veto", Table: "wall", Op: TrigInsert,
+		Fn: func(q Queryer, ev TriggerEvent) error {
+			return errors.New("vetoed")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO wall (user_id, content) VALUES (1, 'x')"); err == nil {
+		t.Fatal("insert with failing trigger succeeded")
+	}
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM wall")
+	if rs.Rows[0][0].I != 0 {
+		t.Fatal("aborted insert left a row behind")
+	}
+}
+
+func TestTriggerReentrantRead(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	var sawCount int64 = -1
+	if err := db.CreateTrigger(Trigger{
+		Name: "reread", Table: "wall", Op: TrigInsert,
+		Fn: func(q Queryer, ev TriggerEvent) error {
+			// Reading the table we are mutating must not self-deadlock.
+			rs, err := q.Query("SELECT COUNT(*) FROM wall WHERE user_id = $1", ev.New[1])
+			if err != nil {
+				return err
+			}
+			sawCount = rs.Rows[0][0].I
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (3, 'x')")
+	if sawCount != 1 {
+		t.Fatalf("trigger saw count %d, want 1 (its own row visible)", sawCount)
+	}
+}
+
+func TestTriggersDisabledToggle(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	fired := 0
+	if err := db.CreateTrigger(Trigger{
+		Name: "count", Table: "wall", Op: TrigInsert,
+		Fn: func(q Queryer, ev TriggerEvent) error {
+			fired++
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.SetTriggersEnabled(false)
+	mustExec(t, db, "INSERT INTO wall (user_id) VALUES (1)")
+	db.SetTriggersEnabled(true)
+	mustExec(t, db, "INSERT INTO wall (user_id) VALUES (2)")
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestDropTrigger(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	fn := func(q Queryer, ev TriggerEvent) error { return nil }
+	if err := db.CreateTrigger(Trigger{Name: "x", Table: "wall", Op: TrigInsert, Fn: fn}); err != nil {
+		t.Fatal(err)
+	}
+	if !db.DropTrigger("wall", "x") {
+		t.Fatal("DropTrigger returned false")
+	}
+	if db.DropTrigger("wall", "x") {
+		t.Fatal("second DropTrigger returned true")
+	}
+	if n := len(db.Triggers("wall", TrigInsert)); n != 0 {
+		t.Fatalf("%d triggers remain", n)
+	}
+}
+
+func TestConcurrentInsertsDistinctTables(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE a (v INT)")
+	mustExec(t, db, "CREATE TABLE b (v INT)")
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for _, tbl := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(tbl string) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO %s (v) VALUES ($1)", tbl), I64(int64(i))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(tbl)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for _, tbl := range []string{"a", "b"} {
+		rs := mustQuery(t, db, "SELECT COUNT(*) FROM "+tbl)
+		if rs.Rows[0][0].I != 200 {
+			t.Fatalf("%s count = %d", tbl, rs.Rows[0][0].I)
+		}
+	}
+}
+
+func TestConcurrentSameTableSerializes(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE c (v INT)")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := db.Exec("INSERT INTO c (v) VALUES (1)"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM c")
+	if rs.Rows[0][0].I != 400 {
+		t.Fatalf("count = %d", rs.Rows[0][0].I)
+	}
+}
+
+// TestRandomizedAgainstReference runs a random single-table workload and
+// cross-checks results against an in-memory reference model.
+func TestRandomizedAgainstReference(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE r (k INT NOT NULL, v TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_r_k ON r (k)")
+	rng := rand.New(rand.NewSource(99))
+	type refRow struct {
+		id int64
+		k  int64
+		v  string
+	}
+	ref := map[int64]refRow{}
+	for step := 0; step < 2000; step++ {
+		k := int64(rng.Intn(20))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			v := fmt.Sprintf("v%d", step)
+			res := mustExec(t, db, "INSERT INTO r (k, v) VALUES ($1, $2)", I64(k), Str(v))
+			ref[res.LastInsertID] = refRow{id: res.LastInsertID, k: k, v: v}
+		case 4, 5: // update by k
+			v := fmt.Sprintf("u%d", step)
+			res := mustExec(t, db, "UPDATE r SET v = $1 WHERE k = $2", Str(v), I64(k))
+			n := 0
+			for id, row := range ref {
+				if row.k == k {
+					row.v = v
+					ref[id] = row
+					n++
+				}
+			}
+			if res.RowsAffected != n {
+				t.Fatalf("step %d: update affected %d, ref %d", step, res.RowsAffected, n)
+			}
+		case 6: // delete by k
+			res := mustExec(t, db, "DELETE FROM r WHERE k = $1", I64(k))
+			n := 0
+			for id, row := range ref {
+				if row.k == k {
+					delete(ref, id)
+					n++
+				}
+			}
+			if res.RowsAffected != n {
+				t.Fatalf("step %d: delete affected %d, ref %d", step, res.RowsAffected, n)
+			}
+		default: // query by k
+			rs := mustQuery(t, db, "SELECT id, v FROM r WHERE k = $1 ORDER BY id", I64(k))
+			var want []refRow
+			for _, row := range ref {
+				if row.k == k {
+					want = append(want, row)
+				}
+			}
+			if len(rs.Rows) != len(want) {
+				t.Fatalf("step %d: got %d rows, ref %d", step, len(rs.Rows), len(want))
+			}
+		}
+	}
+	// Final: every ref row readable by id.
+	for id, row := range ref {
+		rs := mustQuery(t, db, "SELECT v FROM r WHERE id = $1", I64(id))
+		if len(rs.Rows) != 1 || rs.Rows[0][0].S != row.v {
+			t.Fatalf("row %d: got %+v, want %q", id, rs.Rows, row.v)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	mustExec(t, db, "INSERT INTO wall (user_id) VALUES (1)")
+	mustQuery(t, db, "SELECT * FROM wall")
+	st := db.Stats()
+	if st.Inserts != 1 || st.Selects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLargeTableIndexScanMatchesFullScan(t *testing.T) {
+	db := newTestDB(t)
+	setupWall(t, db)
+	for i := 0; i < 500; i++ {
+		mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES ($1, $2)",
+			I64(int64(i%17)), Str(fmt.Sprintf("c%d", i)))
+	}
+	// Index path.
+	rs1 := mustQuery(t, db, "SELECT id FROM wall WHERE user_id = 5 ORDER BY id")
+	// Force a scan path via an inequality that the planner cannot index.
+	rs2 := mustQuery(t, db, "SELECT id FROM wall WHERE user_id >= 5 AND user_id <= 5 ORDER BY id")
+	if len(rs1.Rows) == 0 || len(rs1.Rows) != len(rs2.Rows) {
+		t.Fatalf("index scan %d rows, full scan %d rows", len(rs1.Rows), len(rs2.Rows))
+	}
+	for i := range rs1.Rows {
+		if rs1.Rows[i][0].I != rs2.Rows[i][0].I {
+			t.Fatal("index and scan paths disagree")
+		}
+	}
+}

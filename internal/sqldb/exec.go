@@ -1,0 +1,834 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"cachegenie/internal/sqlparse"
+)
+
+// execAST routes a parsed statement to its executor.
+func (tx *Txn) execAST(st sqlparse.Statement, args ...Value) (Result, error) {
+	if tx.done {
+		return Result{}, ErrTxnDone
+	}
+	switch s := st.(type) {
+	case *sqlparse.CreateTable:
+		return Result{}, tx.db.createTable(s)
+	case *sqlparse.CreateIndex:
+		return Result{}, tx.createIndex(s)
+	case *sqlparse.Insert:
+		return tx.execInsert(s, args)
+	case *sqlparse.Update:
+		return tx.execUpdate(s, args)
+	case *sqlparse.Delete:
+		return tx.execDelete(s, args)
+	case *sqlparse.Select:
+		return Result{}, fmt.Errorf("sqldb: use Query for SELECT")
+	}
+	return Result{}, fmt.Errorf("sqldb: cannot execute %T", st)
+}
+
+func (db *DB) createTable(ct *sqlparse.CreateTable) error {
+	schema, err := schemaFromAST(ct)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[schema.Table]; exists {
+		return fmt.Errorf("sqldb: table %q already exists", schema.Table)
+	}
+	db.tables[schema.Table] = newTable(schema, db.disk, db.pool)
+	return nil
+}
+
+func (tx *Txn) createIndex(ci *sqlparse.CreateIndex) error {
+	t, err := tx.db.table(ci.Table)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(ci.Table, lockExclusive); err != nil {
+		return err
+	}
+	cols := make([]int, len(ci.Columns))
+	for i, name := range ci.Columns {
+		ci2 := t.schema.ColIndex(name)
+		if ci2 < 0 {
+			return fmt.Errorf("sqldb: index %s: no column %q in table %s", ci.Name, name, ci.Table)
+		}
+		cols[i] = ci2
+	}
+	for _, ix := range t.indexes {
+		if ix.Name == ci.Name {
+			return fmt.Errorf("sqldb: index %q already exists", ci.Name)
+		}
+	}
+	return t.addIndex(&Index{Name: ci.Name, Cols: cols, Unique: ci.Unique})
+}
+
+// coerce converts v to column type ct where a safe conversion exists.
+func coerce(v Value, ct Type) (Value, error) {
+	if v.Null {
+		return NullOf(ct), nil
+	}
+	if v.Type == ct {
+		return v, nil
+	}
+	switch {
+	case ct == TypeFloat && v.Type == TypeInt:
+		return F64(float64(v.I)), nil
+	case ct == TypeInt && v.Type == TypeFloat && v.F == float64(int64(v.F)):
+		return I64(int64(v.F)), nil
+	case ct == TypeTime && v.Type == TypeInt:
+		return Value{Type: TypeTime, I: v.I}, nil
+	case ct == TypeBool && v.Type == TypeInt && (v.I == 0 || v.I == 1):
+		return Bool(v.I == 1), nil
+	}
+	return Value{}, fmt.Errorf("sqldb: cannot coerce %v value %s to %v", v.Type, v, ct)
+}
+
+// litValue converts an AST literal to a Value.
+func litValue(l *sqlparse.Literal) Value {
+	switch l.Kind {
+	case "int":
+		return I64(l.Int)
+	case "float":
+		return F64(l.Float)
+	case "string":
+		return Str(l.Str)
+	case "bool":
+		return Bool(l.Bool)
+	default: // "null"
+		return Value{Null: true}
+	}
+}
+
+// evalScalar evaluates an expression outside a join context: literals,
+// params, and (when row != nil) references to columns of schema with
+// optional +/- arithmetic.
+func evalScalar(e sqlparse.Expr, args []Value, schema *Schema, row Row) (Value, error) {
+	switch {
+	case e.Lit != nil:
+		return litValue(e.Lit), nil
+	case e.Param != 0:
+		if e.Param > len(args) {
+			return Value{}, fmt.Errorf("sqldb: statement references $%d but only %d args given", e.Param, len(args))
+		}
+		return args[e.Param-1], nil
+	case e.Col != nil:
+		if row == nil || schema == nil {
+			return Value{}, fmt.Errorf("sqldb: column reference %s not allowed here", e.Col)
+		}
+		ci := schema.ColIndex(e.Col.Column)
+		if ci < 0 {
+			return Value{}, fmt.Errorf("sqldb: no column %q in table %s", e.Col.Column, schema.Table)
+		}
+		v := row[ci]
+		if e.Op == 0 {
+			return v, nil
+		}
+		var operand Value
+		if e.OperandParam != 0 {
+			if e.OperandParam > len(args) {
+				return Value{}, fmt.Errorf("sqldb: statement references $%d but only %d args given", e.OperandParam, len(args))
+			}
+			operand = args[e.OperandParam-1]
+		} else {
+			operand = litValue(e.Operand)
+		}
+		if v.Null {
+			return v, nil
+		}
+		switch {
+		case v.Type == TypeInt && operand.Type == TypeInt:
+			if e.Op == '+' {
+				return I64(v.I + operand.I), nil
+			}
+			return I64(v.I - operand.I), nil
+		case v.IsNumeric() && operand.IsNumeric():
+			if e.Op == '+' {
+				return F64(v.numeric() + operand.numeric()), nil
+			}
+			return F64(v.numeric() - operand.numeric()), nil
+		}
+		return Value{}, fmt.Errorf("sqldb: arithmetic on non-numeric column %s", e.Col)
+	}
+	return Value{}, fmt.Errorf("sqldb: empty expression")
+}
+
+// ---------- SELECT ----------
+
+// env is the executor's join environment: tables joined so far and, per
+// result row, one Row per table.
+type env struct {
+	names []string
+	tabs  []*table
+}
+
+// resolve finds (tableIdx, colIdx) for a column reference.
+func (e *env) resolve(ref sqlparse.ColumnRef) (int, int, error) {
+	if ref.Table != "" {
+		for ti, n := range e.names {
+			if n == ref.Table {
+				ci := e.tabs[ti].schema.ColIndex(ref.Column)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("sqldb: no column %q in table %s", ref.Column, n)
+				}
+				return ti, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sqldb: table %q not in FROM clause", ref.Table)
+	}
+	found := -1
+	foundCol := -1
+	for ti, t := range e.tabs {
+		if ci := t.schema.ColIndex(ref.Column); ci >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqldb: ambiguous column %q", ref.Column)
+			}
+			found, foundCol = ti, ci
+		}
+	}
+	if found < 0 {
+		return 0, 0, fmt.Errorf("sqldb: no column %q in any FROM table", ref.Column)
+	}
+	return found, foundCol, nil
+}
+
+// covers reports whether every table referenced by p resolves in e.
+func (e *env) covers(p sqlparse.Predicate) bool {
+	ok := true
+	var walk func(sqlparse.Predicate)
+	checkRef := func(ref sqlparse.ColumnRef) {
+		if _, _, err := e.resolve(ref); err != nil {
+			ok = false
+		}
+	}
+	walk = func(p sqlparse.Predicate) {
+		switch q := p.(type) {
+		case *sqlparse.Compare:
+			checkRef(q.Col)
+			if q.Rhs.Col != nil {
+				checkRef(*q.Rhs.Col)
+			}
+		case *sqlparse.In:
+			checkRef(q.Col)
+		case *sqlparse.IsNull:
+			checkRef(q.Col)
+		case *sqlparse.And:
+			walk(q.L)
+			walk(q.R)
+		case *sqlparse.Or:
+			walk(q.L)
+			walk(q.R)
+		}
+	}
+	walk(p)
+	return ok
+}
+
+// evalPred evaluates predicate p over rows in environment e.
+func (e *env) evalPred(p sqlparse.Predicate, rows []Row, args []Value) (bool, error) {
+	switch q := p.(type) {
+	case *sqlparse.Compare:
+		ti, ci, err := e.resolve(q.Col)
+		if err != nil {
+			return false, err
+		}
+		lhs := rows[ti][ci]
+		rhs, err := e.evalExpr(q.Rhs, rows, args)
+		if err != nil {
+			return false, err
+		}
+		if lhs.Null || rhs.Null {
+			return false, nil
+		}
+		c := Compare(lhs, rhs)
+		switch q.Op {
+		case sqlparse.OpEq:
+			return c == 0, nil
+		case sqlparse.OpNeq:
+			return c != 0, nil
+		case sqlparse.OpLt:
+			return c < 0, nil
+		case sqlparse.OpLe:
+			return c <= 0, nil
+		case sqlparse.OpGt:
+			return c > 0, nil
+		case sqlparse.OpGe:
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("sqldb: bad compare op")
+	case *sqlparse.In:
+		ti, ci, err := e.resolve(q.Col)
+		if err != nil {
+			return false, err
+		}
+		lhs := rows[ti][ci]
+		if lhs.Null {
+			return false, nil
+		}
+		for _, ex := range q.List {
+			rhs, err := e.evalExpr(ex, rows, args)
+			if err != nil {
+				return false, err
+			}
+			if Equal(lhs, rhs) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *sqlparse.IsNull:
+		ti, ci, err := e.resolve(q.Col)
+		if err != nil {
+			return false, err
+		}
+		isNull := rows[ti][ci].Null
+		if q.Not {
+			return !isNull, nil
+		}
+		return isNull, nil
+	case *sqlparse.And:
+		l, err := e.evalPred(q.L, rows, args)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.evalPred(q.R, rows, args)
+	case *sqlparse.Or:
+		l, err := e.evalPred(q.L, rows, args)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return e.evalPred(q.R, rows, args)
+	}
+	return false, fmt.Errorf("sqldb: bad predicate %T", p)
+}
+
+func (e *env) evalExpr(ex sqlparse.Expr, rows []Row, args []Value) (Value, error) {
+	switch {
+	case ex.Lit != nil:
+		return litValue(ex.Lit), nil
+	case ex.Param != 0:
+		if ex.Param > len(args) {
+			return Value{}, fmt.Errorf("sqldb: statement references $%d but only %d args given", ex.Param, len(args))
+		}
+		return args[ex.Param-1], nil
+	case ex.Col != nil:
+		ti, ci, err := e.resolve(*ex.Col)
+		if err != nil {
+			return Value{}, err
+		}
+		return rows[ti][ci], nil
+	}
+	return Value{}, fmt.Errorf("sqldb: empty expression")
+}
+
+// conjuncts flattens the top-level AND tree of p.
+func conjuncts(p sqlparse.Predicate) []sqlparse.Predicate {
+	if p == nil {
+		return nil
+	}
+	if a, ok := p.(*sqlparse.And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []sqlparse.Predicate{p}
+}
+
+// eqLookup describes a resolvable equality `col = <literal/param>` on a
+// specific table, used for index selection.
+type eqLookup struct {
+	colIdx int
+	val    Value
+}
+
+// tableEqualities extracts equality conjuncts on the named table whose RHS
+// is a literal or parameter.
+func tableEqualities(cs []sqlparse.Predicate, tableName string, t *table, args []Value) ([]eqLookup, error) {
+	var eqs []eqLookup
+	for _, c := range cs {
+		cmp, ok := c.(*sqlparse.Compare)
+		if !ok || cmp.Op != sqlparse.OpEq {
+			continue
+		}
+		if cmp.Col.Table != "" && cmp.Col.Table != tableName {
+			continue
+		}
+		ci := t.schema.ColIndex(cmp.Col.Column)
+		if ci < 0 {
+			continue
+		}
+		if cmp.Rhs.Col != nil {
+			continue
+		}
+		v, err := evalScalar(cmp.Rhs, args, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := coerce(v, t.schema.Columns[ci].Type)
+		if err != nil {
+			// Type mismatch in a predicate is not an index-selection error;
+			// the row-at-a-time evaluation will simply not match.
+			continue
+		}
+		eqs = append(eqs, eqLookup{colIdx: ci, val: cv})
+	}
+	return eqs, nil
+}
+
+// pickAccessPath chooses the best index for the available equalities.
+// Returns nil (full scan) when no index matches. PK equality is handled
+// separately by the caller.
+func pickAccessPath(t *table, eqs []eqLookup) (*Index, []Value) {
+	byCol := map[int]Value{}
+	for _, eq := range eqs {
+		byCol[eq.colIdx] = eq.val
+	}
+	var best *Index
+	bestLen := 0
+	for _, ix := range t.indexes {
+		matched := 0
+		for _, c := range ix.Cols {
+			if _, ok := byCol[c]; ok {
+				matched++
+			} else {
+				break
+			}
+		}
+		if matched > bestLen {
+			best, bestLen = ix, matched
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	vals := make([]Value, bestLen)
+	for i := 0; i < bestLen; i++ {
+		vals[i] = byCol[best.Cols[i]]
+	}
+	return best, vals
+}
+
+// baseRows produces the candidate rows of table t (named name) given the
+// WHERE conjuncts, using PK or index access when possible.
+func (tx *Txn) baseRows(name string, t *table, cs []sqlparse.Predicate, args []Value) ([]Row, error) {
+	eqs, err := tableEqualities(cs, name, t, args)
+	if err != nil {
+		return nil, err
+	}
+	// PK point lookup.
+	for _, eq := range eqs {
+		if eq.colIdx == t.schema.PKIndex && eq.val.Type == TypeInt && !eq.val.Null {
+			row, err := t.getRaw(eq.val.I)
+			if err != nil {
+				if isNotFound(err) {
+					return nil, nil
+				}
+				return nil, err
+			}
+			return []Row{row}, nil
+		}
+	}
+	if ix, vals := pickAccessPath(t, eqs); ix != nil {
+		var rows []Row
+		err := t.scanIndexEq(ix, vals, func(r Row) (bool, error) {
+			rows = append(rows, r)
+			return true, nil
+		})
+		return rows, err
+	}
+	var rows []Row
+	err = t.scan(func(r Row) (bool, error) {
+		rows = append(rows, r)
+		return true, nil
+	})
+	return rows, err
+}
+
+func isNotFound(err error) bool {
+	return errors.Is(err, ErrRowNotFound)
+}
+
+// querySelect executes a SELECT inside tx.
+func (tx *Txn) querySelect(sel *sqlparse.Select, args ...Value) (*ResultSet, error) {
+	if tx.done {
+		return nil, ErrTxnDone
+	}
+	tx.db.chargeStatement()
+	tx.db.statSelects.Add(1)
+
+	// Lock every referenced table in sorted order (shared).
+	names := []string{sel.From}
+	for _, j := range sel.Joins {
+		names = append(names, j.Table)
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if err := tx.lockTable(n, lockShared); err != nil {
+			return nil, err
+		}
+	}
+
+	base, err := tx.db.table(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	cs := conjuncts(sel.Where)
+	applied := make([]bool, len(cs))
+
+	e := &env{names: []string{sel.From}, tabs: []*table{base}}
+	baseRows, err := tx.baseRows(sel.From, base, cs, args)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([][]Row, 0, len(baseRows))
+	for _, r := range baseRows {
+		tuples = append(tuples, []Row{r})
+	}
+	// Apply every conjunct resolvable on the current env; repeated after
+	// each join.
+	filter := func() error {
+		for i, c := range cs {
+			if applied[i] || !e.covers(c) {
+				continue
+			}
+			applied[i] = true
+			kept := tuples[:0]
+			for _, rows := range tuples {
+				ok, err := e.evalPred(c, rows, args)
+				if err != nil {
+					return err
+				}
+				if ok {
+					kept = append(kept, rows)
+				}
+			}
+			tuples = kept
+		}
+		return nil
+	}
+	if err := filter(); err != nil {
+		return nil, err
+	}
+
+	// Index-nested-loop joins.
+	for _, j := range sel.Joins {
+		jt, err := tx.db.table(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		// Determine which side of ON references the new table.
+		newSide, oldSide := j.Right, j.Left
+		if j.Left.Table == j.Table {
+			newSide, oldSide = j.Left, j.Right
+		} else if j.Right.Table != j.Table {
+			return nil, fmt.Errorf("sqldb: JOIN %s ON references neither side", j.Table)
+		}
+		oldTi, oldCi, err := e.resolve(oldSide)
+		if err != nil {
+			return nil, err
+		}
+		newCi := jt.schema.ColIndex(newSide.Column)
+		if newCi < 0 {
+			return nil, fmt.Errorf("sqldb: no column %q in table %s", newSide.Column, j.Table)
+		}
+		matchIx := jt.findIndex([]int{newCi})
+		var out [][]Row
+		for _, rows := range tuples {
+			joinVal := rows[oldTi][oldCi]
+			if joinVal.Null {
+				continue
+			}
+			appendMatch := func(r Row) {
+				combined := make([]Row, len(rows)+1)
+				copy(combined, rows)
+				combined[len(rows)] = r
+				out = append(out, combined)
+			}
+			switch {
+			case newCi == jt.schema.PKIndex && joinVal.Type == TypeInt:
+				r, err := jt.getRaw(joinVal.I)
+				if err != nil {
+					if isNotFound(err) {
+						continue
+					}
+					return nil, err
+				}
+				appendMatch(r)
+			case matchIx != nil:
+				cv, cerr := coerce(joinVal, jt.schema.Columns[newCi].Type)
+				if cerr != nil {
+					continue
+				}
+				err := jt.scanIndexEq(matchIx, []Value{cv}, func(r Row) (bool, error) {
+					appendMatch(r)
+					return true, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			default:
+				err := jt.scan(func(r Row) (bool, error) {
+					if Equal(r[newCi], joinVal) {
+						appendMatch(r)
+					}
+					return true, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		tuples = out
+		e.names = append(e.names, j.Table)
+		e.tabs = append(e.tabs, jt)
+		if err := filter(); err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range cs {
+		if !applied[i] {
+			return nil, fmt.Errorf("sqldb: predicate %s references unknown tables/columns", c)
+		}
+	}
+
+	// ORDER BY on the join environment.
+	if len(sel.Order) > 0 {
+		type sortKey struct {
+			ti, ci int
+			desc   bool
+		}
+		keys := make([]sortKey, len(sel.Order))
+		for i, ob := range sel.Order {
+			ti, ci, err := e.resolve(ob.Col)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = sortKey{ti, ci, ob.Desc}
+		}
+		sort.SliceStable(tuples, func(a, b int) bool {
+			for _, k := range keys {
+				c := Compare(tuples[a][k.ti][k.ci], tuples[b][k.ti][k.ci])
+				if c == 0 {
+					continue
+				}
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// OFFSET / LIMIT.
+	if sel.Offset > 0 {
+		if sel.Offset >= len(tuples) {
+			tuples = nil
+		} else {
+			tuples = tuples[sel.Offset:]
+		}
+	}
+	if sel.Limit >= 0 && sel.Limit < len(tuples) {
+		tuples = tuples[:sel.Limit]
+	}
+
+	// Projection.
+	rs := &ResultSet{}
+	switch {
+	case sel.CountStar:
+		rs.Columns = []string{"count"}
+		rs.Rows = []Row{{I64(int64(len(tuples)))}}
+	case sel.Star:
+		for ti, t := range e.tabs {
+			for _, c := range t.schema.Columns {
+				if len(e.tabs) > 1 {
+					rs.Columns = append(rs.Columns, e.names[ti]+"."+c.Name)
+				} else {
+					rs.Columns = append(rs.Columns, c.Name)
+				}
+			}
+		}
+		for _, rows := range tuples {
+			var out Row
+			for _, r := range rows {
+				out = append(out, r...)
+			}
+			rs.Rows = append(rs.Rows, out)
+		}
+	default:
+		type proj struct{ ti, ci int }
+		projs := make([]proj, len(sel.Columns))
+		for i, cr := range sel.Columns {
+			ti, ci, err := e.resolve(cr)
+			if err != nil {
+				return nil, err
+			}
+			projs[i] = proj{ti, ci}
+			rs.Columns = append(rs.Columns, cr.Column)
+		}
+		for _, rows := range tuples {
+			out := make(Row, len(projs))
+			for i, p := range projs {
+				out[i] = rows[p.ti][p.ci]
+			}
+			rs.Rows = append(rs.Rows, out)
+		}
+	}
+	return rs, nil
+}
+
+// ---------- INSERT / UPDATE / DELETE ----------
+
+func (tx *Txn) execInsert(ins *sqlparse.Insert, args []Value) (Result, error) {
+	tx.db.chargeStatement()
+	tx.db.statInserts.Add(1)
+	t, err := tx.db.table(ins.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tx.lockForWrite(ins.Table, TrigInsert); err != nil {
+		return Result{}, err
+	}
+	row := make(Row, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		row[i] = NullOf(c.Type)
+	}
+	for i, colName := range ins.Columns {
+		ci := t.schema.ColIndex(colName)
+		if ci < 0 {
+			return Result{}, fmt.Errorf("sqldb: no column %q in table %s", colName, ins.Table)
+		}
+		v, err := evalScalar(ins.Values[i], args, nil, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		cv, err := coerce(v, t.schema.Columns[ci].Type)
+		if err != nil {
+			return Result{}, fmt.Errorf("sqldb: column %s.%s: %v", ins.Table, colName, err)
+		}
+		row[ci] = cv
+	}
+	stored, err := t.insertRaw(row)
+	if err != nil {
+		return Result{}, err
+	}
+	tx.undo = append(tx.undo, undoRec{tbl: t, op: TrigInsert, new: stored})
+	ev := TriggerEvent{Table: ins.Table, Op: TrigInsert, Schema: t.schema, New: stored}
+	if err := tx.db.fireTriggers(tx, ev); err != nil {
+		return Result{}, err
+	}
+	res := Result{RowsAffected: 1, LastInsertID: stored[t.schema.PKIndex].I}
+	if len(ins.Returning) > 0 {
+		out := make([]Value, len(ins.Returning))
+		for i, colName := range ins.Returning {
+			ci := t.schema.ColIndex(colName)
+			if ci < 0 {
+				return Result{}, fmt.Errorf("sqldb: RETURNING: no column %q", colName)
+			}
+			out[i] = stored[ci]
+		}
+		res.Returning = [][]Value{out}
+	}
+	return res, nil
+}
+
+// matchSingleTable evaluates a single-table WHERE and returns matching rows.
+func (tx *Txn) matchSingleTable(name string, t *table, where sqlparse.Predicate, args []Value) ([]Row, error) {
+	cs := conjuncts(where)
+	e := &env{names: []string{name}, tabs: []*table{t}}
+	rows, err := tx.baseRows(name, t, cs, args)
+	if err != nil {
+		return nil, err
+	}
+	if where == nil {
+		return rows, nil
+	}
+	var out []Row
+	for _, r := range rows {
+		ok, err := e.evalPred(where, []Row{r}, args)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (tx *Txn) execUpdate(up *sqlparse.Update, args []Value) (Result, error) {
+	tx.db.chargeStatement()
+	tx.db.statUpdates.Add(1)
+	t, err := tx.db.table(up.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tx.lockForWrite(up.Table, TrigUpdate); err != nil {
+		return Result{}, err
+	}
+	matches, err := tx.matchSingleTable(up.Table, t, up.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, old := range matches {
+		newRow := old.Clone()
+		for _, a := range up.Set {
+			ci := t.schema.ColIndex(a.Column)
+			if ci < 0 {
+				return Result{}, fmt.Errorf("sqldb: no column %q in table %s", a.Column, up.Table)
+			}
+			v, err := evalScalar(a.Value, args, t.schema, old)
+			if err != nil {
+				return Result{}, err
+			}
+			cv, err := coerce(v, t.schema.Columns[ci].Type)
+			if err != nil {
+				return Result{}, fmt.Errorf("sqldb: column %s.%s: %v", up.Table, a.Column, err)
+			}
+			newRow[ci] = cv
+		}
+		stored, err := t.updateRaw(old, newRow)
+		if err != nil {
+			return Result{}, err
+		}
+		tx.undo = append(tx.undo, undoRec{tbl: t, op: TrigUpdate, old: old, new: stored})
+		ev := TriggerEvent{Table: up.Table, Op: TrigUpdate, Schema: t.schema, Old: old, New: stored}
+		if err := tx.db.fireTriggers(tx, ev); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: len(matches)}, nil
+}
+
+func (tx *Txn) execDelete(del *sqlparse.Delete, args []Value) (Result, error) {
+	tx.db.chargeStatement()
+	tx.db.statDeletes.Add(1)
+	t, err := tx.db.table(del.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := tx.lockForWrite(del.Table, TrigDelete); err != nil {
+		return Result{}, err
+	}
+	matches, err := tx.matchSingleTable(del.Table, t, del.Where, args)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, old := range matches {
+		if err := t.deleteRaw(old); err != nil {
+			return Result{}, err
+		}
+		tx.undo = append(tx.undo, undoRec{tbl: t, op: TrigDelete, old: old})
+		ev := TriggerEvent{Table: del.Table, Op: TrigDelete, Schema: t.schema, Old: old}
+		if err := tx.db.fireTriggers(tx, ev); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{RowsAffected: len(matches)}, nil
+}

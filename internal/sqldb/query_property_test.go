@@ -1,0 +1,175 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestOrderByLimitAgainstReference checks ORDER BY + LIMIT + OFFSET against
+// an in-memory reference sort over randomized data, including duplicate
+// sort keys and NULLs.
+func TestOrderByLimitAgainstReference(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE s (grp INT NOT NULL, score INT, name TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_s_grp ON s (grp)")
+	rng := rand.New(rand.NewSource(17))
+	type row struct {
+		id    int64
+		grp   int64
+		score Value
+		name  string
+	}
+	var rows []row
+	for i := 0; i < 300; i++ {
+		grp := int64(rng.Intn(5))
+		var score Value
+		if rng.Intn(10) == 0 {
+			score = NullOf(TypeInt)
+			mustExec(t, db, "INSERT INTO s (grp, score, name) VALUES ($1, NULL, $2)",
+				I64(grp), Str(fmt.Sprintf("n%d", i)))
+		} else {
+			score = I64(int64(rng.Intn(50)))
+			mustExec(t, db, "INSERT INTO s (grp, score, name) VALUES ($1, $2, $3)",
+				I64(grp), score, Str(fmt.Sprintf("n%d", i)))
+		}
+		rows = append(rows, row{id: int64(i + 1), grp: grp, score: score, name: fmt.Sprintf("n%d", i)})
+	}
+
+	for _, tc := range []struct {
+		desc   bool
+		limit  int
+		offset int
+	}{
+		{false, 10, 0}, {true, 10, 0}, {true, 7, 3}, {false, 1000, 0}, {true, 0, 0},
+	} {
+		for grp := int64(0); grp < 5; grp++ {
+			dir := ""
+			if tc.desc {
+				dir = " DESC"
+			}
+			sql := fmt.Sprintf(
+				"SELECT id FROM s WHERE grp = $1 ORDER BY score%s, id LIMIT %d OFFSET %d",
+				dir, tc.limit, tc.offset)
+			rs := mustQuery(t, db, sql, I64(grp))
+
+			// Reference: filter, stable sort by (score dir, id asc).
+			var want []row
+			for _, r := range rows {
+				if r.grp == grp {
+					want = append(want, r)
+				}
+			}
+			sort.SliceStable(want, func(a, b int) bool {
+				c := Compare(want[a].score, want[b].score)
+				if c != 0 {
+					if tc.desc {
+						return c > 0
+					}
+					return c < 0
+				}
+				return want[a].id < want[b].id
+			})
+			if tc.offset < len(want) {
+				want = want[tc.offset:]
+			} else {
+				want = nil
+			}
+			if tc.limit < len(want) {
+				want = want[:tc.limit]
+			}
+			if len(rs.Rows) != len(want) {
+				t.Fatalf("%s grp=%d: got %d rows, want %d", sql, grp, len(rs.Rows), len(want))
+			}
+			for i := range want {
+				if rs.Rows[i][0].I != want[i].id {
+					t.Fatalf("%s grp=%d row %d: got id %d, want %d",
+						sql, grp, i, rs.Rows[i][0].I, want[i].id)
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateMovesIndexEntries verifies that updating an indexed column
+// relocates the index entry (regression guard for the index-maintenance
+// path feature-query triggers depend on).
+func TestUpdateMovesIndexEntries(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE m (k INT NOT NULL, v TEXT)")
+	mustExec(t, db, "CREATE INDEX idx_m_k ON m (k)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, "INSERT INTO m (k, v) VALUES ($1, $2)", I64(int64(i%2)), Str(fmt.Sprintf("r%d", i)))
+	}
+	res := mustExec(t, db, "UPDATE m SET k = 2 WHERE k = 0")
+	if res.RowsAffected != 10 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	for k, want := range map[int]int64{0: 0, 1: 10, 2: 10} {
+		rs := mustQuery(t, db, "SELECT COUNT(*) FROM m WHERE k = $1", I64(int64(k)))
+		if rs.Rows[0][0].I != want {
+			t.Fatalf("k=%d count = %d, want %d", k, rs.Rows[0][0].I, want)
+		}
+	}
+}
+
+// TestInPredicateWithParams mixes literal and parameter IN members.
+func TestInPredicateWithParams(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE p (v INT)")
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO p (v) VALUES ($1)", I64(int64(i)))
+	}
+	rs := mustQuery(t, db, "SELECT COUNT(*) FROM p WHERE v IN ($1, 5, $2)", I64(2), I64(8))
+	if rs.Rows[0][0].I != 3 {
+		t.Fatalf("count = %d", rs.Rows[0][0].I)
+	}
+}
+
+// TestTxnSequentialStatements runs multi-statement transactions with
+// interleaved reads and verifies atomicity of the whole group.
+func TestTxnSequentialStatements(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE acct (owner TEXT NOT NULL, balance INT NOT NULL)")
+	mustExec(t, db, "INSERT INTO acct (owner, balance) VALUES ('a', 100)")
+	mustExec(t, db, "INSERT INTO acct (owner, balance) VALUES ('b', 0)")
+
+	transfer := func(amount int64) error {
+		tx := db.Begin()
+		defer func() { _ = tx.Rollback() }()
+		if _, err := tx.Exec("UPDATE acct SET balance = balance - $1 WHERE owner = 'a'", I64(amount)); err != nil {
+			return err
+		}
+		rs, err := tx.Query("SELECT balance FROM acct WHERE owner = 'a'")
+		if err != nil {
+			return err
+		}
+		if rs.Rows[0][0].I < 0 {
+			return fmt.Errorf("insufficient funds")
+		}
+		if _, err := tx.Exec("UPDATE acct SET balance = balance + $1 WHERE owner = 'b'", I64(amount)); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+	if err := transfer(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := transfer(60); err == nil {
+		t.Fatal("overdraft transfer succeeded")
+	}
+	// Failed transfer must have rolled back entirely.
+	total := int64(0)
+	for _, owner := range []string{"a", "b"} {
+		rs := mustQuery(t, db, "SELECT balance FROM acct WHERE owner = $1", Str(owner))
+		total += rs.Rows[0][0].I
+	}
+	if total != 100 {
+		t.Fatalf("money not conserved: total = %d", total)
+	}
+	rs := mustQuery(t, db, "SELECT balance FROM acct WHERE owner = 'b'")
+	if rs.Rows[0][0].I != 60 {
+		t.Fatalf("b = %d, want 60", rs.Rows[0][0].I)
+	}
+}

@@ -1,0 +1,110 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"cachegenie/internal/sqlparse"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    Type
+	NotNull bool
+}
+
+// Schema describes a table: its columns and primary key. Every table has an
+// integer primary key (Django-style implicit `id` works out of the box); the
+// engine auto-assigns ascending IDs when an insert leaves the PK NULL or 0.
+type Schema struct {
+	Table   string
+	Columns []Column
+	PKIndex int // position of the primary-key column
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PKName returns the primary-key column name.
+func (s *Schema) PKName() string { return s.Columns[s.PKIndex].Name }
+
+// String renders the schema as CREATE TABLE SQL.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		p := c.Name + " " + c.Type.String()
+		if i == s.PKIndex {
+			p += " PRIMARY KEY"
+		}
+		if c.NotNull {
+			p += " NOT NULL"
+		}
+		parts[i] = p
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", s.Table, strings.Join(parts, ", "))
+}
+
+// typeFromSQL maps a parsed SQL type name to an engine Type.
+func typeFromSQL(sqlType string) (Type, error) {
+	switch sqlType {
+	case "INT", "BIGINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE":
+		return TypeFloat, nil
+	case "TEXT", "VARCHAR":
+		return TypeText, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	case "TIMESTAMP", "DATE":
+		return TypeTime, nil
+	}
+	return 0, fmt.Errorf("sqldb: unsupported SQL type %q", sqlType)
+}
+
+// schemaFromAST builds a Schema from a parsed CREATE TABLE.
+func schemaFromAST(ct *sqlparse.CreateTable) (*Schema, error) {
+	if len(ct.Columns) == 0 {
+		return nil, fmt.Errorf("sqldb: table %s has no columns", ct.Table)
+	}
+	s := &Schema{Table: ct.Table, PKIndex: -1}
+	for i, cd := range ct.Columns {
+		t, err := typeFromSQL(cd.Type)
+		if err != nil {
+			return nil, err
+		}
+		if cd.PrimaryKey {
+			if s.PKIndex >= 0 {
+				return nil, fmt.Errorf("sqldb: table %s has two primary keys", ct.Table)
+			}
+			if t != TypeInt {
+				return nil, fmt.Errorf("sqldb: primary key %s.%s must be INT", ct.Table, cd.Name)
+			}
+			s.PKIndex = i
+		}
+		s.Columns = append(s.Columns, Column{Name: cd.Name, Type: t, NotNull: cd.NotNull})
+	}
+	if s.PKIndex < 0 {
+		// Django-style implicit id column, prepended.
+		if s.ColIndex("id") >= 0 {
+			return nil, fmt.Errorf("sqldb: table %s has an id column that is not the primary key", ct.Table)
+		}
+		s.Columns = append([]Column{{Name: "id", Type: TypeInt, NotNull: true}}, s.Columns...)
+		s.PKIndex = 0
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("sqldb: table %s has duplicate column %s", ct.Table, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return s, nil
+}

@@ -1,0 +1,193 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrLockTimeout is returned when a lock cannot be acquired before the
+// engine's lock timeout; callers should treat it as a deadlock victim signal
+// and retry the transaction (timeout-based deadlock detection, as the paper
+// proposes for its distributed variant, §3.3).
+var ErrLockTimeout = errors.New("sqldb: lock wait timeout (possible deadlock)")
+
+// ErrTxnDone is returned when using a committed or rolled-back transaction.
+var ErrTxnDone = errors.New("sqldb: transaction already finished")
+
+type lockMode int
+
+const (
+	lockNone lockMode = iota
+	lockShared
+	lockExclusive
+)
+
+// tableLock is a reader-writer lock with owner reentrancy, shared-to-
+// exclusive upgrade, and timeout. Owners are transactions.
+type tableLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers map[*Txn]int
+	writer  *Txn
+}
+
+func newTableLock() *tableLock {
+	l := &tableLock{readers: make(map[*Txn]int)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// tryGrant attempts to grant mode to owner; caller holds l.mu.
+func (l *tableLock) tryGrant(owner *Txn, mode lockMode) bool {
+	switch mode {
+	case lockShared:
+		if l.writer == nil || l.writer == owner {
+			l.readers[owner]++
+			return true
+		}
+	case lockExclusive:
+		if l.writer == owner {
+			return true
+		}
+		othersReading := false
+		for r := range l.readers {
+			if r != owner {
+				othersReading = true
+				break
+			}
+		}
+		if l.writer == nil && !othersReading {
+			// Upgrade: drop our shared holds; the exclusive hold subsumes
+			// them until release.
+			delete(l.readers, owner)
+			l.writer = owner
+			return true
+		}
+	}
+	return false
+}
+
+// acquire blocks until mode is granted to owner or timeout elapses.
+func (l *tableLock) acquire(owner *Txn, mode lockMode, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.tryGrant(owner, mode) {
+			return nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return ErrLockTimeout
+		}
+		timer := time.AfterFunc(remaining, func() {
+			l.mu.Lock()
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		})
+		l.cond.Wait()
+		timer.Stop()
+	}
+}
+
+// release drops all of owner's holds.
+func (l *tableLock) release(owner *Txn) {
+	l.mu.Lock()
+	if l.writer == owner {
+		l.writer = nil
+	}
+	delete(l.readers, owner)
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// undoRec is one entry in a transaction's undo log.
+type undoRec struct {
+	tbl *table
+	op  TriggerOp
+	old Row // valid for update, delete
+	new Row // valid for insert, update
+}
+
+// Txn is a database transaction. It implements strict two-phase locking at
+// table granularity: locks accumulate during the transaction and are all
+// released at Commit or Rollback. A Txn must be used from a single goroutine.
+type Txn struct {
+	db    *DB
+	id    int64
+	locks map[string]lockMode
+	undo  []undoRec
+	done  bool
+	// depth guards against trigger recursion: triggers run inside a
+	// statement and may issue reads, but their writes do not re-fire
+	// triggers beyond maxTriggerDepth.
+	depth int
+}
+
+// ID returns the transaction id.
+func (tx *Txn) ID() int64 { return tx.id }
+
+// lockTable acquires (or re-acquires) a lock on the named table.
+func (tx *Txn) lockTable(name string, mode lockMode) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	held := tx.locks[name]
+	if held >= mode {
+		return nil
+	}
+	l := tx.db.lockFor(name)
+	if err := l.acquire(tx, mode, tx.db.lockTimeout); err != nil {
+		return fmt.Errorf("%w (table %s, txn %d)", err, name, tx.id)
+	}
+	tx.locks[name] = mode
+	return nil
+}
+
+// Commit makes the transaction's effects durable and releases its locks.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.finish()
+	return nil
+}
+
+// Rollback undoes every change made by the transaction (without re-firing
+// triggers) and releases its locks. Rolling back a finished transaction is a
+// no-op, so `defer tx.Rollback()` is safe.
+func (tx *Txn) Rollback() error {
+	if tx.done {
+		return nil
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		var err error
+		switch u.op {
+		case TrigInsert:
+			err = u.tbl.deleteRaw(u.new)
+		case TrigUpdate:
+			_, err = u.tbl.updateRaw(u.new, u.old)
+		case TrigDelete:
+			_, err = u.tbl.insertRaw(u.old)
+		}
+		if err != nil {
+			// Undo failures indicate corruption; surface loudly.
+			tx.finish()
+			return fmt.Errorf("sqldb: rollback of txn %d failed: %v", tx.id, err)
+		}
+	}
+	tx.finish()
+	return nil
+}
+
+func (tx *Txn) finish() {
+	for name := range tx.locks {
+		tx.db.lockFor(name).release(tx)
+	}
+	tx.locks = map[string]lockMode{}
+	tx.undo = nil
+	tx.done = true
+}

@@ -1,0 +1,496 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	// String renders the statement back to SQL (normalized); used for
+	// logging and for the template-based invalidation baseline, which keys
+	// on query templates.
+	String() string
+}
+
+// ColumnRef names a column, optionally qualified by table.
+type ColumnRef struct {
+	Table  string // empty if unqualified
+	Column string
+}
+
+// String implements fmt.Stringer.
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a typed constant value in the AST.
+type Literal struct {
+	// Kind is one of "int", "float", "string", "bool", "null".
+	Kind   string
+	Int    int64
+	Float  float64
+	Str    string
+	Bool   bool
+	Negate bool // set for unary minus on numbers
+}
+
+// String implements fmt.Stringer.
+func (l Literal) String() string {
+	switch l.Kind {
+	case "int":
+		if l.Negate {
+			return fmt.Sprintf("-%d", l.Int)
+		}
+		return fmt.Sprintf("%d", l.Int)
+	case "float":
+		if l.Negate {
+			return fmt.Sprintf("-%g", l.Float)
+		}
+		return fmt.Sprintf("%g", l.Float)
+	case "string":
+		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
+	case "bool":
+		if l.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	case "null":
+		return "NULL"
+	}
+	return "?"
+}
+
+// Expr is a scalar expression: a literal, parameter, column reference, or
+// col +/- literal (the arithmetic needed for incremental count updates).
+type Expr struct {
+	// Exactly one of the following is set.
+	Lit   *Literal
+	Param int        // 1-based parameter index; 0 means unset
+	Col   *ColumnRef // column reference
+
+	// Optional arithmetic: Col (Op) operand, with Op in {+, -}. The
+	// operand is either a literal or a parameter.
+	Op           byte // '+', '-', or 0
+	Operand      *Literal
+	OperandParam int // 1-based parameter index; 0 means Operand is set
+}
+
+// String implements fmt.Stringer.
+func (e Expr) String() string {
+	switch {
+	case e.Lit != nil:
+		return e.Lit.String()
+	case e.Param != 0:
+		return fmt.Sprintf("$%d", e.Param)
+	case e.Col != nil:
+		s := e.Col.String()
+		if e.Op != 0 {
+			if e.OperandParam != 0 {
+				s = fmt.Sprintf("%s %c $%d", s, e.Op, e.OperandParam)
+			} else {
+				s = fmt.Sprintf("%s %c %s", s, e.Op, e.Operand.String())
+			}
+		}
+		return s
+	}
+	return "<nil>"
+}
+
+// CompareOp is a comparison operator in a predicate.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+var opNames = map[CompareOp]string{
+	OpEq: "=", OpNeq: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+}
+
+// String implements fmt.Stringer.
+func (o CompareOp) String() string { return opNames[o] }
+
+// Predicate is a boolean WHERE-clause tree.
+type Predicate interface {
+	pred()
+	String() string
+}
+
+// Compare is `col op expr`.
+type Compare struct {
+	Col ColumnRef
+	Op  CompareOp
+	Rhs Expr
+}
+
+func (*Compare) pred() {}
+
+// String implements fmt.Stringer.
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Rhs)
+}
+
+// In is `col IN (e1, e2, ...)`.
+type In struct {
+	Col  ColumnRef
+	List []Expr
+}
+
+func (*In) pred() {}
+
+// String implements fmt.Stringer.
+func (i *In) String() string {
+	parts := make([]string, len(i.List))
+	for j, e := range i.List {
+		parts[j] = e.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", i.Col, strings.Join(parts, ", "))
+}
+
+// IsNull is `col IS [NOT] NULL`.
+type IsNull struct {
+	Col ColumnRef
+	Not bool
+}
+
+func (*IsNull) pred() {}
+
+// String implements fmt.Stringer.
+func (n *IsNull) String() string {
+	if n.Not {
+		return fmt.Sprintf("%s IS NOT NULL", n.Col)
+	}
+	return fmt.Sprintf("%s IS NULL", n.Col)
+}
+
+// And is a conjunction.
+type And struct{ L, R Predicate }
+
+func (*And) pred() {}
+
+// String implements fmt.Stringer.
+func (a *And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is a disjunction.
+type Or struct{ L, R Predicate }
+
+func (*Or) pred() {}
+
+// String implements fmt.Stringer.
+func (o *Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// JoinClause is `JOIN table ON left = right`.
+type JoinClause struct {
+	Table string
+	Left  ColumnRef
+	Right ColumnRef
+}
+
+// OrderBy is one ORDER BY term.
+type OrderBy struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	// Columns selected; empty plus Star=true means `*`. CountStar means
+	// `COUNT(*)` (Columns then empty).
+	Columns   []ColumnRef
+	Star      bool
+	CountStar bool
+	From      string
+	Joins     []JoinClause
+	Where     Predicate
+	Order     []OrderBy
+	Limit     int // -1 when absent
+	Offset    int // 0 when absent
+}
+
+func (*Select) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch {
+	case s.CountStar:
+		sb.WriteString("COUNT(*)")
+	case s.Star:
+		sb.WriteString("*")
+	default:
+		for i, c := range s.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.String())
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From)
+	for _, j := range s.Joins {
+		fmt.Fprintf(&sb, " JOIN %s ON %s = %s", j.Table, j.Left, j.Right)
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.Order) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.Order {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Col.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&sb, " OFFSET %d", s.Offset)
+	}
+	return sb.String()
+}
+
+// Insert is an INSERT statement.
+type Insert struct {
+	Table   string
+	Columns []string
+	Values  []Expr
+	// Returning lists columns to return from the inserted row (used by the
+	// ORM to learn auto-assigned IDs). Only plain column names.
+	Returning []string
+}
+
+func (*Insert) stmt() {}
+
+// String implements fmt.Stringer.
+func (ins *Insert) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "INSERT INTO %s (%s) VALUES (", ins.Table, strings.Join(ins.Columns, ", "))
+	for i, v := range ins.Values {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString(")")
+	if len(ins.Returning) > 0 {
+		fmt.Fprintf(&sb, " RETURNING %s", strings.Join(ins.Returning, ", "))
+	}
+	return sb.String()
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Predicate
+}
+
+func (*Update) stmt() {}
+
+// String implements fmt.Stringer.
+func (u *Update) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "UPDATE %s SET ", u.Table)
+	for i, a := range u.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s = %s", a.Column, a.Value.String())
+	}
+	if u.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(u.Where.String())
+	}
+	return sb.String()
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where Predicate
+}
+
+func (*Delete) stmt() {}
+
+// String implements fmt.Stringer.
+func (d *Delete) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       string // INT, BIGINT, TEXT, BOOL, FLOAT, TIMESTAMP
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+// String implements fmt.Stringer.
+func (c *CreateTable) String() string {
+	parts := make([]string, len(c.Columns))
+	for i, col := range c.Columns {
+		s := col.Name + " " + col.Type
+		if col.PrimaryKey {
+			s += " PRIMARY KEY"
+		}
+		if col.NotNull {
+			s += " NOT NULL"
+		}
+		parts[i] = s
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", c.Table, strings.Join(parts, ", "))
+}
+
+// CreateIndex is a CREATE [UNIQUE] INDEX statement.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// String implements fmt.Stringer.
+func (c *CreateIndex) String() string {
+	u := ""
+	if c.Unique {
+		u = "UNIQUE "
+	}
+	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", u, c.Name, c.Table, strings.Join(c.Columns, ", "))
+}
+
+// Begin starts a transaction.
+type Begin struct{}
+
+func (*Begin) stmt() {}
+
+// String implements fmt.Stringer.
+func (*Begin) String() string { return "BEGIN" }
+
+// Commit commits a transaction.
+type Commit struct{}
+
+func (*Commit) stmt() {}
+
+// String implements fmt.Stringer.
+func (*Commit) String() string { return "COMMIT" }
+
+// Rollback aborts a transaction.
+type Rollback struct{}
+
+func (*Rollback) stmt() {}
+
+// String implements fmt.Stringer.
+func (*Rollback) String() string { return "ROLLBACK" }
+
+// Template returns the statement's *query template*: its SQL text with every
+// literal and parameter replaced by '?'. Template-based invalidation systems
+// (GlobeCBC, paper §2) match update templates against cached-query templates;
+// our baseline in internal/templateinv keys on this.
+func Template(s Statement) string {
+	switch st := s.(type) {
+	case *Select:
+		c := *st
+		c.Where = templatePred(st.Where)
+		return c.String()
+	case *Insert:
+		c := *st
+		vals := make([]Expr, len(st.Values))
+		for i := range vals {
+			vals[i] = Expr{Param: i + 1}
+		}
+		c.Values = vals
+		s2 := c.String()
+		return paramWipe(s2)
+	case *Update:
+		c := *st
+		set := make([]Assignment, len(st.Set))
+		for i, a := range st.Set {
+			set[i] = Assignment{Column: a.Column, Value: Expr{Param: i + 1}}
+		}
+		c.Set = set
+		c.Where = templatePred(st.Where)
+		return paramWipe(c.String())
+	case *Delete:
+		c := *st
+		c.Where = templatePred(st.Where)
+		return paramWipe(c.String())
+	default:
+		return s.String()
+	}
+}
+
+// paramWipe replaces $N placeholders with '?' so templates with different
+// parameter numbering compare equal.
+func paramWipe(s string) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(s) {
+		if s[i] == '$' {
+			sb.WriteByte('?')
+			i++
+			for i < len(s) && isDigit(s[i]) {
+				i++
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+func templatePred(p Predicate) Predicate {
+	switch q := p.(type) {
+	case nil:
+		return nil
+	case *Compare:
+		return &Compare{Col: q.Col, Op: q.Op, Rhs: Expr{Param: 1}}
+	case *In:
+		return &In{Col: q.Col, List: []Expr{{Param: 1}}}
+	case *IsNull:
+		return q
+	case *And:
+		return &And{L: templatePred(q.L), R: templatePred(q.R)}
+	case *Or:
+		return &Or{L: templatePred(q.L), R: templatePred(q.R)}
+	}
+	return p
+}

@@ -1,0 +1,241 @@
+// Package sqlparse implements the SQL dialect understood by the sqldb
+// engine: a lexer, an AST, and a recursive-descent parser covering the
+// statements an ORM emits (CREATE TABLE/INDEX, SELECT with joins, ORDER BY
+// and LIMIT, INSERT, UPDATE, DELETE, and transaction control).
+//
+// The dialect is the subset of PostgreSQL that Django generates for the
+// query patterns CacheGenie caches (paper §3.1): feature queries, link
+// (join) queries, count queries, and top-K queries.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam // $1, $2, ... or ?
+	TokLParen
+	TokRParen
+	TokComma
+	TokDot
+	TokStar
+	TokSemi
+	TokEq
+	TokNeq
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokPlus
+	TokMinus
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokKeyword: "keyword",
+	TokNumber: "number", TokString: "string", TokParam: "parameter",
+	TokLParen: "'('", TokRParen: "')'", TokComma: "','", TokDot: "'.'",
+	TokStar: "'*'", TokSemi: "';'", TokEq: "'='", TokNeq: "'!='",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='",
+	TokPlus: "'+'", TokMinus: "'-'",
+}
+
+// String implements fmt.Stringer.
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical token. Text holds the raw text (keywords are
+// upper-cased; identifiers are lower-cased; string literals are unquoted).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "ON": true, "JOIN": true,
+	"INNER": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"LIMIT": true, "OFFSET": true, "COUNT": true, "AS": true,
+	"PRIMARY": true, "KEY": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "DROP": true,
+	"INT": true, "BIGINT": true, "TEXT": true, "BOOL": true, "BOOLEAN": true,
+	"FLOAT": true, "DOUBLE": true, "TIMESTAMP": true, "DATE": true,
+	"VARCHAR": true, "IS": true, "RETURNING": true, "DEFAULT": true,
+}
+
+// SyntaxError describes a lexing or parsing failure.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes input.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	paramSeq := 0
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, Token{TokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, Token{TokStar, "*", i})
+			i++
+		case c == ';':
+			toks = append(toks, Token{TokSemi, ";", i})
+			i++
+		case c == '+':
+			toks = append(toks, Token{TokPlus, "+", i})
+			i++
+		case c == '=':
+			toks = append(toks, Token{TokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokNeq, "!=", i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected '!'")
+			}
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokLe, "<=", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, Token{TokNeq, "<>", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokGt, ">", i})
+				i++
+			}
+		case c == '?':
+			toks = append(toks, Token{TokParam, fmt.Sprintf("%d", paramSeq+1), i})
+			paramSeq++
+			i++
+		case c == '$':
+			j := i + 1
+			for j < n && isDigit(input[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, errf(i, "bare '$'")
+			}
+			toks = append(toks, Token{TokParam, input[i+1 : j], i})
+			i = j
+		case c == '\'':
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, errf(i, "unterminated string literal")
+			}
+			toks = append(toks, Token{TokString, sb.String(), i})
+			i = j
+		case c == '-':
+			if i+1 < n && input[i+1] == '-' { // line comment
+				for i < n && input[i] != '\n' {
+					i++
+				}
+				continue
+			}
+			toks = append(toks, Token{TokMinus, "-", i})
+			i++
+		case isDigit(c):
+			j := i
+			for j < n && (isDigit(input[j]) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, Token{TokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentRune(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{TokKeyword, up, i})
+			} else {
+				toks = append(toks, Token{TokIdent, strings.ToLower(word), i})
+			}
+			i = j
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,278 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM users WHERE id = 42")
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if !sel.Star || sel.From != "users" {
+		t.Fatalf("sel = %+v", sel)
+	}
+	cmp, ok := sel.Where.(*Compare)
+	if !ok || cmp.Col.Column != "id" || cmp.Op != OpEq || cmp.Rhs.Lit.Int != 42 {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+}
+
+func TestParseSelectColumns(t *testing.T) {
+	st := mustParse(t, "SELECT id, name, email FROM users")
+	sel := st.(*Select)
+	if len(sel.Columns) != 3 || sel.Columns[1].Column != "name" {
+		t.Fatalf("cols = %v", sel.Columns)
+	}
+}
+
+func TestParseJoinChain(t *testing.T) {
+	sql := "SELECT g.id, g.name FROM membership JOIN groups ON membership.group_id = groups.id JOIN users ON membership.user_id = users.id WHERE users.id = $1"
+	sel := mustParse(t, sql).(*Select)
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %v", sel.Joins)
+	}
+	if sel.Joins[0].Table != "groups" || sel.Joins[0].Left.Table != "membership" {
+		t.Fatalf("join[0] = %+v", sel.Joins[0])
+	}
+	cmp := sel.Where.(*Compare)
+	if cmp.Rhs.Param != 1 {
+		t.Fatalf("param = %d", cmp.Rhs.Param)
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM wall WHERE user_id = 7 ORDER BY date_posted DESC, id ASC LIMIT 20 OFFSET 5").(*Select)
+	if len(sel.Order) != 2 || !sel.Order[0].Desc || sel.Order[1].Desc {
+		t.Fatalf("order = %+v", sel.Order)
+	}
+	if sel.Limit != 20 || sel.Offset != 5 {
+		t.Fatalf("limit/offset = %d/%d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*) FROM friends WHERE user_id = $1").(*Select)
+	if !sel.CountStar {
+		t.Fatal("CountStar not set")
+	}
+}
+
+func TestParseInPredicate(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE uid IN (1, 2, 3)").(*Select)
+	in := sel.Where.(*In)
+	if len(in.List) != 3 || in.List[2].Lit.Int != 3 {
+		t.Fatalf("in = %+v", in)
+	}
+}
+
+func TestParseAndOrPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3").(*Select)
+	// AND binds tighter: (a=1 AND b=2) OR c=3.
+	or, ok := sel.Where.(*Or)
+	if !ok {
+		t.Fatalf("top = %T", sel.Where)
+	}
+	if _, ok := or.L.(*And); !ok {
+		t.Fatalf("left = %T", or.L)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)").(*Select)
+	and, ok := sel.Where.(*And)
+	if !ok {
+		t.Fatalf("top = %T", sel.Where)
+	}
+	if _, ok := and.R.(*Or); !ok {
+		t.Fatalf("right = %T", and.R)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE deleted_at IS NULL AND x IS NOT NULL").(*Select)
+	and := sel.Where.(*And)
+	if n := and.L.(*IsNull); n.Not {
+		t.Fatal("left should be IS NULL")
+	}
+	if n := and.R.(*IsNull); !n.Not {
+		t.Fatal("right should be IS NOT NULL")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO wall (user_id, content, date_posted) VALUES ($1, 'hi ''there''', 1700000000) RETURNING id").(*Insert)
+	if ins.Table != "wall" || len(ins.Columns) != 3 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	if ins.Values[1].Lit.Str != "hi 'there'" {
+		t.Fatalf("string literal = %q", ins.Values[1].Lit.Str)
+	}
+	if len(ins.Returning) != 1 || ins.Returning[0] != "id" {
+		t.Fatalf("returning = %v", ins.Returning)
+	}
+}
+
+func TestParseInsertArityMismatch(t *testing.T) {
+	if _, err := Parse("INSERT INTO t (a, b) VALUES (1)"); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestParseUpdateArithmetic(t *testing.T) {
+	up := mustParse(t, "UPDATE counters SET n = n + 1, label = 'x' WHERE id = 9").(*Update)
+	if len(up.Set) != 2 {
+		t.Fatalf("set = %+v", up.Set)
+	}
+	a := up.Set[0]
+	if a.Value.Col == nil || a.Value.Op != '+' || a.Value.Operand.Int != 1 {
+		t.Fatalf("assignment = %+v", a)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	del := mustParse(t, "DELETE FROM friends WHERE from_user_id = $1 AND to_user_id = $2").(*Delete)
+	if del.Table != "friends" {
+		t.Fatalf("table = %s", del.Table)
+	}
+	if _, ok := del.Where.(*And); !ok {
+		t.Fatalf("where = %T", del.Where)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE wall (
+		id BIGINT PRIMARY KEY,
+		user_id BIGINT NOT NULL,
+		content TEXT,
+		score FLOAT,
+		posted TIMESTAMP,
+		public BOOL
+	)`).(*CreateTable)
+	if ct.Table != "wall" || len(ct.Columns) != 6 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || !ct.Columns[1].NotNull {
+		t.Fatalf("col flags wrong: %+v", ct.Columns[:2])
+	}
+}
+
+func TestParseCreateTableVarchar(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE u (name VARCHAR(120) NOT NULL)").(*CreateTable)
+	if ct.Columns[0].Type != "VARCHAR" {
+		t.Fatalf("type = %s", ct.Columns[0].Type)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	ci := mustParse(t, "CREATE UNIQUE INDEX idx_wall_user ON wall (user_id, date_posted)").(*CreateIndex)
+	if !ci.Unique || ci.Table != "wall" || len(ci.Columns) != 2 {
+		t.Fatalf("ci = %+v", ci)
+	}
+}
+
+func TestParseTxnControl(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*Begin); !ok {
+		t.Fatal("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT;").(*Commit); !ok {
+		t.Fatal("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*Rollback); !ok {
+		t.Fatal("ROLLBACK")
+	}
+}
+
+func TestParseQuestionMarkParams(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a = ? AND b = ?").(*Select)
+	and := sel.Where.(*And)
+	if and.L.(*Compare).Rhs.Param != 1 || and.R.(*Compare).Rhs.Param != 2 {
+		t.Fatal("? params not numbered sequentially")
+	}
+}
+
+func TestParseKeywordishColumnNames(t *testing.T) {
+	// "date" and "count" are common column names that are also keywords.
+	sel := mustParse(t, "SELECT date, count FROM stats ORDER BY date").(*Select)
+	if sel.Columns[0].Column != "date" || sel.Columns[1].Column != "count" {
+		t.Fatalf("cols = %v", sel.Columns)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a >",
+		"INSERT INTO t VALUES (1)",
+		"UPDATE t SET",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT * FROM t; SELECT * FROM u",
+		"SELECT * FROM t WHERE a = 'unterminated",
+	}
+	for _, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	// Statement -> String -> Parse -> String must be a fixed point.
+	cases := []string{
+		"SELECT * FROM users WHERE id = 42",
+		"SELECT id, name FROM users WHERE age >= 18 ORDER BY name LIMIT 10",
+		"SELECT COUNT(*) FROM friends WHERE user_id = $1",
+		"INSERT INTO t (a, b) VALUES (1, 'x')",
+		"UPDATE t SET a = a + 1 WHERE id = 3",
+		"DELETE FROM t WHERE a = 1",
+	}
+	for _, sql := range cases {
+		st1 := mustParse(t, sql)
+		s1 := st1.String()
+		st2 := mustParse(t, s1)
+		if s2 := st2.String(); s1 != s2 {
+			t.Errorf("not a fixed point:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestTemplate(t *testing.T) {
+	a := mustParse(t, "SELECT * FROM users WHERE id = 42")
+	b := mustParse(t, "SELECT * FROM users WHERE id = 43")
+	c := mustParse(t, "SELECT * FROM users WHERE email = 'x'")
+	if Template(a) != Template(b) {
+		t.Fatalf("same-template queries differ:\n%s\n%s", Template(a), Template(b))
+	}
+	if Template(a) == Template(c) {
+		t.Fatal("different-template queries match")
+	}
+	u1 := mustParse(t, "UPDATE profiles SET bio = 'a' WHERE user_id = 1")
+	u2 := mustParse(t, "UPDATE profiles SET bio = 'b' WHERE user_id = 2")
+	if Template(u1) != Template(u2) {
+		t.Fatal("update templates differ")
+	}
+	if strings.Contains(Template(u1), "'a'") {
+		t.Fatal("template leaked literal")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t -- trailing comment\nWHERE a = 1").(*Select)
+	if sel.Where == nil {
+		t.Fatal("comment swallowed WHERE clause")
+	}
+}

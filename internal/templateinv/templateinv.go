@@ -1,0 +1,271 @@
+// Package templateinv implements the template-based query-result caching
+// baseline CacheGenie is contrasted with (GlobeCBC, paper §2 and Table 1):
+// SELECT results are cached under their exact query text, and a write
+// invalidates every cached result whose query *template* conflicts with the
+// update — i.e. cached entries for user 42 AND user 43 both die when either
+// is written, because they share a template. CacheGenie's trigger-based
+// scheme invalidates only the affected keys; the ablation benchmark
+// measures the hit-ratio difference.
+//
+// Conn wraps any database connection (it satisfies orm.Conn), so the whole
+// social application runs unmodified on this baseline.
+package templateinv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/sqldb"
+	"cachegenie/internal/sqlparse"
+)
+
+// Conn is a caching database connection with template-based invalidation.
+type Conn struct {
+	inner interface {
+		Exec(sql string, args ...sqldb.Value) (sqldb.Result, error)
+		Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error)
+	}
+	cache kvcache.Cache
+	ttl   time.Duration
+
+	mu sync.Mutex
+	// keysByTemplate tracks which exact-query keys exist per template, so a
+	// conflicting write can invalidate them all.
+	keysByTemplate map[string]map[string]struct{}
+	// templatesByTable maps a table name to the query templates that read
+	// it (conflict detection is by table overlap, the conservative variant
+	// of template matching).
+	templatesByTable map[string]map[string]struct{}
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	invalidations  atomic.Int64 // keys invalidated
+	templateWipes  atomic.Int64 // templates wiped
+	uncacheable    atomic.Int64
+	parseFailures  atomic.Int64
+	writesObserved atomic.Int64
+}
+
+// Stats is a snapshot of baseline counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	TemplateWipes int64
+}
+
+// New wraps inner with a template-invalidation cache. ttl of 0 means no
+// expiry.
+func New(inner interface {
+	Exec(sql string, args ...sqldb.Value) (sqldb.Result, error)
+	Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error)
+}, cache kvcache.Cache, ttl time.Duration) *Conn {
+	return &Conn{
+		inner:            inner,
+		cache:            cache,
+		ttl:              ttl,
+		keysByTemplate:   make(map[string]map[string]struct{}),
+		templatesByTable: make(map[string]map[string]struct{}),
+	}
+}
+
+// Stats returns the counters.
+func (c *Conn) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		TemplateWipes: c.templateWipes.Load(),
+	}
+}
+
+// queryKey renders the exact query (template + argument values) as a cache
+// key.
+func queryKey(template string, args []sqldb.Value) string {
+	var sb strings.Builder
+	sb.WriteString("tq:")
+	sb.WriteString(template)
+	for _, a := range args {
+		sb.WriteString("|")
+		sb.WriteString(a.String())
+	}
+	return sb.String()
+}
+
+// selectTables lists the tables a parsed SELECT reads.
+func selectTables(sel *sqlparse.Select) []string {
+	out := []string{sel.From}
+	for _, j := range sel.Joins {
+		out = append(out, j.Table)
+	}
+	return out
+}
+
+// Query implements the read path: exact-match result caching.
+func (c *Conn) Query(sql string, args ...sqldb.Value) (*sqldb.ResultSet, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		c.parseFailures.Add(1)
+		return c.inner.Query(sql, args...)
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		c.uncacheable.Add(1)
+		return c.inner.Query(sql, args...)
+	}
+	template := sqlparse.Template(sel)
+	key := queryKey(template, args)
+	if raw, found := c.cache.Get(key); found {
+		rs, err := decodeResultSet(raw)
+		if err == nil {
+			c.hits.Add(1)
+			return rs, nil
+		}
+		c.cache.Delete(key)
+	}
+	c.misses.Add(1)
+	rs, err := c.inner.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.Set(key, encodeResultSet(rs), c.ttl)
+	c.mu.Lock()
+	keys, ok := c.keysByTemplate[template]
+	if !ok {
+		keys = make(map[string]struct{})
+		c.keysByTemplate[template] = keys
+		for _, table := range selectTables(sel) {
+			byTable, ok := c.templatesByTable[table]
+			if !ok {
+				byTable = make(map[string]struct{})
+				c.templatesByTable[table] = byTable
+			}
+			byTable[template] = struct{}{}
+		}
+	}
+	keys[key] = struct{}{}
+	c.mu.Unlock()
+	return rs, nil
+}
+
+// Exec implements the write path: run the statement, then invalidate every
+// cached result of every query template that conflicts (reads a table this
+// statement writes).
+func (c *Conn) Exec(sql string, args ...sqldb.Value) (sqldb.Result, error) {
+	res, err := c.inner.Exec(sql, args...)
+	if err != nil {
+		return res, err
+	}
+	st, perr := sqlparse.Parse(sql)
+	if perr != nil {
+		return res, nil
+	}
+	var table string
+	switch w := st.(type) {
+	case *sqlparse.Insert:
+		table = w.Table
+	case *sqlparse.Update:
+		table = w.Table
+	case *sqlparse.Delete:
+		table = w.Table
+	default:
+		return res, nil
+	}
+	c.writesObserved.Add(1)
+	c.mu.Lock()
+	var doomedKeys []string
+	for template := range c.templatesByTable[table] {
+		keys := c.keysByTemplate[template]
+		if len(keys) == 0 {
+			continue
+		}
+		c.templateWipes.Add(1)
+		for k := range keys {
+			doomedKeys = append(doomedKeys, k)
+		}
+		delete(c.keysByTemplate, template)
+	}
+	// Templates stay registered under their tables so repopulated keys are
+	// tracked again (keysByTemplate entry recreated on next Query).
+	c.mu.Unlock()
+	for _, k := range doomedKeys {
+		c.cache.Delete(k)
+		c.invalidations.Add(1)
+	}
+	return res, nil
+}
+
+// encodeResultSet serializes a result set for the cache.
+func encodeResultSet(rs *sqldb.ResultSet) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(n uint64) {
+		l := binary.PutUvarint(tmp[:], n)
+		out = append(out, tmp[:l]...)
+	}
+	put(uint64(len(rs.Columns)))
+	for _, col := range rs.Columns {
+		put(uint64(len(col)))
+		out = append(out, col...)
+	}
+	put(uint64(len(rs.Rows)))
+	for _, r := range rs.Rows {
+		enc := sqldb.EncodeRow(nil, r)
+		put(uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+// decodeResultSet parses an encodeResultSet payload.
+func decodeResultSet(b []byte) (*sqldb.ResultSet, error) {
+	take := func() (uint64, error) {
+		n, l := binary.Uvarint(b)
+		if l <= 0 {
+			return 0, fmt.Errorf("templateinv: truncated payload")
+		}
+		b = b[l:]
+		return n, nil
+	}
+	rs := &sqldb.ResultSet{}
+	ncols, err := take()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ncols; i++ {
+		l, err := take()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(b)) < l {
+			return nil, fmt.Errorf("templateinv: truncated column name")
+		}
+		rs.Columns = append(rs.Columns, string(b[:l]))
+		b = b[l:]
+	}
+	nrows, err := take()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nrows; i++ {
+		l, err := take()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(b)) < l {
+			return nil, fmt.Errorf("templateinv: truncated row")
+		}
+		row, err := sqldb.DecodeRow(b[:l])
+		if err != nil {
+			return nil, err
+		}
+		rs.Rows = append(rs.Rows, row)
+		b = b[l:]
+	}
+	return rs, nil
+}

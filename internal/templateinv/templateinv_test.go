@@ -1,0 +1,161 @@
+package templateinv
+
+import (
+	"testing"
+
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/sqldb"
+)
+
+func newConn(t *testing.T) (*Conn, *sqldb.DB, *kvcache.Store) {
+	t.Helper()
+	db := sqldb.Open(sqldb.Config{})
+	if _, err := db.Exec("CREATE TABLE profiles (user_id INT NOT NULL, bio TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX idx_p ON profiles (user_id)"); err != nil {
+		t.Fatal(err)
+	}
+	cache := kvcache.New(0)
+	return New(db, cache, 0), db, cache
+}
+
+func TestQueryCachesExactMatches(t *testing.T) {
+	c, db, _ := newConn(t)
+	_, _ = db.Exec("INSERT INTO profiles (user_id, bio) VALUES (42, 'a')")
+	sel := "SELECT * FROM profiles WHERE user_id = $1"
+	before := db.Stats().Selects
+	for i := 0; i < 3; i++ {
+		rs, err := c.Query(sel, sqldb.I64(42))
+		if err != nil || len(rs.Rows) != 1 || rs.Rows[0][2].S != "a" {
+			t.Fatalf("i=%d rs=%+v err=%v", i, rs, err)
+		}
+	}
+	if got := db.Stats().Selects - before; got != 1 {
+		t.Fatalf("SELECTs = %d, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDifferentArgsAreDifferentKeys(t *testing.T) {
+	c, db, _ := newConn(t)
+	_, _ = db.Exec("INSERT INTO profiles (user_id, bio) VALUES (1, 'a')")
+	_, _ = db.Exec("INSERT INTO profiles (user_id, bio) VALUES (2, 'b')")
+	sel := "SELECT bio FROM profiles WHERE user_id = $1"
+	r1, _ := c.Query(sel, sqldb.I64(1))
+	r2, _ := c.Query(sel, sqldb.I64(2))
+	if r1.Rows[0][0].S != "a" || r2.Rows[0][0].S != "b" {
+		t.Fatalf("r1=%v r2=%v", r1.Rows, r2.Rows)
+	}
+}
+
+// TestTemplateWideInvalidation is the baseline's defining (bad) behaviour:
+// updating user 1 invalidates the cached entries of BOTH user 1 and user 2,
+// because they share a query template (paper §2: "all cached results
+// belonging to the corresponding query template are invalidated").
+func TestTemplateWideInvalidation(t *testing.T) {
+	c, _, _ := newConn(t)
+	_, _ = c.Exec("INSERT INTO profiles (user_id, bio) VALUES (1, 'a')")
+	_, _ = c.Exec("INSERT INTO profiles (user_id, bio) VALUES (2, 'b')")
+	sel := "SELECT bio FROM profiles WHERE user_id = $1"
+	_, _ = c.Query(sel, sqldb.I64(1))
+	_, _ = c.Query(sel, sqldb.I64(2))
+
+	missesBefore := c.Stats().Misses
+	if _, err := c.Exec("UPDATE profiles SET bio = 'a2' WHERE user_id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// Both entries must be gone: two fresh misses.
+	r1, _ := c.Query(sel, sqldb.I64(1))
+	r2, _ := c.Query(sel, sqldb.I64(2))
+	if r1.Rows[0][0].S != "a2" || r2.Rows[0][0].S != "b" {
+		t.Fatalf("r1=%v r2=%v", r1.Rows, r2.Rows)
+	}
+	if got := c.Stats().Misses - missesBefore; got != 2 {
+		t.Fatalf("misses after invalidation = %d, want 2 (template-wide wipe)", got)
+	}
+	if c.Stats().Invalidations < 2 {
+		t.Fatalf("invalidations = %d", c.Stats().Invalidations)
+	}
+}
+
+func TestNeverStaleThroughBaseline(t *testing.T) {
+	c, _, _ := newConn(t)
+	sel := "SELECT bio FROM profiles WHERE user_id = $1"
+	_, _ = c.Exec("INSERT INTO profiles (user_id, bio) VALUES (7, 'v1')")
+	r, _ := c.Query(sel, sqldb.I64(7))
+	if r.Rows[0][0].S != "v1" {
+		t.Fatal("initial read wrong")
+	}
+	for i, update := range []string{"v2", "v3", "v4"} {
+		if _, err := c.Exec("UPDATE profiles SET bio = $1 WHERE user_id = 7", sqldb.Str(update)); err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Query(sel, sqldb.I64(7))
+		if err != nil || r.Rows[0][0].S != update {
+			t.Fatalf("round %d: got %v, want %s", i, r.Rows, update)
+		}
+	}
+}
+
+func TestUnparsableAndNonSelectPassThrough(t *testing.T) {
+	c, db, _ := newConn(t)
+	_, _ = db.Exec("INSERT INTO profiles (user_id, bio) VALUES (1, 'a')")
+	// COUNT queries cache too (they are SELECTs).
+	rs, err := c.Query("SELECT COUNT(*) FROM profiles WHERE user_id = 1")
+	if err != nil || rs.Rows[0][0].I != 1 {
+		t.Fatalf("count = %+v err=%v", rs, err)
+	}
+	// Exec of DDL passes through without panicking the invalidator.
+	if _, err := c.Exec("CREATE TABLE extra (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinQueriesInvalidatedByEitherTable(t *testing.T) {
+	c, db, _ := newConn(t)
+	_, _ = db.Exec("CREATE TABLE friends (from_user_id INT, to_user_id INT)")
+	_, _ = db.Exec("INSERT INTO friends (from_user_id, to_user_id) VALUES (1, 2)")
+	_, _ = db.Exec("INSERT INTO profiles (user_id, bio) VALUES (2, 'friend')")
+	sel := "SELECT profiles.bio FROM friends JOIN profiles ON profiles.user_id = friends.to_user_id WHERE friends.from_user_id = $1"
+	r, err := c.Query(sel, sqldb.I64(1))
+	if err != nil || len(r.Rows) != 1 {
+		t.Fatalf("join query: %+v err=%v", r, err)
+	}
+	// A write to either underlying table invalidates the join result.
+	missesBefore := c.Stats().Misses
+	_, _ = c.Exec("UPDATE profiles SET bio = 'renamed' WHERE user_id = 2")
+	r, _ = c.Query(sel, sqldb.I64(1))
+	if r.Rows[0][0].S != "renamed" {
+		t.Fatalf("stale join result: %v", r.Rows)
+	}
+	if c.Stats().Misses == missesBefore {
+		t.Fatal("join result not invalidated by target-table write")
+	}
+}
+
+func TestResultSetCodec(t *testing.T) {
+	rs := &sqldb.ResultSet{
+		Columns: []string{"id", "bio"},
+		Rows: []sqldb.Row{
+			{sqldb.I64(1), sqldb.Str("hello")},
+			{sqldb.I64(2), sqldb.NullOf(sqldb.TypeText)},
+		},
+	}
+	dec, err := decodeResultSet(encodeResultSet(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Columns) != 2 || dec.Columns[1] != "bio" {
+		t.Fatalf("columns = %v", dec.Columns)
+	}
+	if len(dec.Rows) != 2 || dec.Rows[0][1].S != "hello" || !dec.Rows[1][1].Null {
+		t.Fatalf("rows = %+v", dec.Rows)
+	}
+	if _, err := decodeResultSet([]byte{0xff}); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

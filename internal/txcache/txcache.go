@@ -1,0 +1,259 @@
+// Package txcache implements the full transactional-consistency design the
+// paper describes in §3.3 but leaves unimplemented: a cache layer that
+// tracks, per key, the uncommitted transactions reading it (readers_k) and
+// the uncommitted writer (writer_k), and blocks conflicting accesses
+// according to two-phase locking. Deadlocks are resolved with timeouts, as
+// the paper proposes for keys spread over many cache servers.
+//
+// Rules (paper §3.3):
+//
+//   - A transaction T reading key k blocks while writer_k ∉ {none, T}.
+//   - A transaction T writing key k blocks while writer_k ∉ {none, T} or
+//     readers_k − {T} ≠ ∅.
+//   - Reader/writer registrations persist even for keys that are absent
+//     from the cache (invalidated or not yet populated).
+//   - On commit, T is removed from all readers/writers and blocked
+//     transactions resume.
+//   - On abort, T is removed from the readers of keys it read, and every
+//     key it wrote is deleted from the cache so subsequent reads go to the
+//     database.
+package txcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// ErrDeadlock is returned when a lock wait exceeds the store's timeout; the
+// caller should abort the transaction and retry (timeout-based deadlock
+// detection, §3.3).
+var ErrDeadlock = errors.New("txcache: lock wait timeout (deadlock suspected)")
+
+// ErrTxnDone is returned when using a committed or aborted transaction.
+var ErrTxnDone = errors.New("txcache: transaction already finished")
+
+// keyState tracks the uncommitted readers and writer of one key. It exists
+// independently of whether the key currently has a cached value.
+type keyState struct {
+	readers map[int64]struct{}
+	writer  int64 // 0 = none
+}
+
+func (ks *keyState) idle() bool { return len(ks.readers) == 0 && ks.writer == 0 }
+
+// Store wraps a cache with per-key two-phase locking.
+type Store struct {
+	inner   kvcache.Cache
+	timeout time.Duration
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	keys   map[string]*keyState
+	nextID int64
+
+	statDeadlocks int64
+	statBlocked   int64
+}
+
+// New wraps inner with transaction tracking. timeout bounds lock waits
+// (minimum 1ms; default 2s when zero).
+func New(inner kvcache.Cache, timeout time.Duration) *Store {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	s := &Store{inner: inner, timeout: timeout, keys: make(map[string]*keyState)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Stats reports deadlock and blocking counts.
+func (s *Store) Stats() (deadlocks, blocked int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statDeadlocks, s.statBlocked
+}
+
+// Begin starts a cache transaction. The paper has Django and the database
+// agree on a transaction id; here the store issues them.
+func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	return &Txn{s: s, id: id, read: map[string]struct{}{}, wrote: map[string]struct{}{}}
+}
+
+// Txn is one cache transaction. It must be used from a single goroutine.
+type Txn struct {
+	s     *Store
+	id    int64
+	read  map[string]struct{}
+	wrote map[string]struct{}
+	done  bool
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+func (s *Store) state(key string) *keyState {
+	ks, ok := s.keys[key]
+	if !ok {
+		ks = &keyState{readers: map[int64]struct{}{}}
+		s.keys[key] = ks
+	}
+	return ks
+}
+
+// wait blocks until grant returns true or the timeout fires. Caller holds
+// s.mu; grant is evaluated under s.mu.
+func (s *Store) wait(grant func() bool) error {
+	if grant() {
+		return nil
+	}
+	s.statBlocked++
+	deadline := time.Now().Add(s.timeout)
+	for !grant() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			s.statDeadlocks++
+			return ErrDeadlock
+		}
+		timer := time.AfterFunc(remaining, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		s.cond.Wait()
+		timer.Stop()
+	}
+	return nil
+}
+
+// Get reads key within the transaction, blocking out concurrent writers.
+// The transaction is registered as a reader of key even on a miss, so a
+// later writer cannot slip between this read and the transaction's commit.
+func (t *Txn) Get(key string) ([]byte, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	s := t.s
+	s.mu.Lock()
+	ks := s.state(key)
+	err := s.wait(func() bool { return ks.writer == 0 || ks.writer == t.id })
+	if err != nil {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("%w (reading %q, txn %d)", err, key, t.id)
+	}
+	ks.readers[t.id] = struct{}{}
+	t.read[key] = struct{}{}
+	s.mu.Unlock()
+	v, ok := s.inner.Get(key)
+	return v, ok, nil
+}
+
+// acquireWrite blocks until t may write key, then registers it as writer.
+func (t *Txn) acquireWrite(key string) error {
+	s := t.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ks := s.state(key)
+	err := s.wait(func() bool {
+		if ks.writer != 0 && ks.writer != t.id {
+			return false
+		}
+		for r := range ks.readers {
+			if r != t.id {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("%w (writing %q, txn %d)", err, key, t.id)
+	}
+	// Upgrade: our own read registration is subsumed by the write lock.
+	delete(ks.readers, t.id)
+	ks.writer = t.id
+	t.wrote[key] = struct{}{}
+	return nil
+}
+
+// Set writes key within the transaction (blocking out readers and writers).
+func (t *Txn) Set(key string, value []byte, ttl time.Duration) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.acquireWrite(key); err != nil {
+		return err
+	}
+	t.s.inner.Set(key, value, ttl)
+	return nil
+}
+
+// Delete invalidates key within the transaction. Per the paper, the
+// reader/writer registration outlives the cached value.
+func (t *Txn) Delete(key string) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if err := t.acquireWrite(key); err != nil {
+		return err
+	}
+	t.s.inner.Delete(key)
+	return nil
+}
+
+// Commit releases the transaction's registrations and wakes waiters.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.finish(false)
+	return nil
+}
+
+// Abort rolls the transaction back: keys it wrote are removed from the
+// cache (so subsequent reads fall through to the database), read
+// registrations are dropped, and waiters wake.
+func (t *Txn) Abort() error {
+	if t.done {
+		return nil
+	}
+	t.finish(true)
+	return nil
+}
+
+func (t *Txn) finish(abort bool) {
+	s := t.s
+	if abort {
+		for key := range t.wrote {
+			s.inner.Delete(key)
+		}
+	}
+	s.mu.Lock()
+	for key := range t.read {
+		if ks, ok := s.keys[key]; ok {
+			delete(ks.readers, t.id)
+			if ks.idle() {
+				delete(s.keys, key)
+			}
+		}
+	}
+	for key := range t.wrote {
+		if ks, ok := s.keys[key]; ok {
+			if ks.writer == t.id {
+				ks.writer = 0
+			}
+			if ks.idle() {
+				delete(s.keys, key)
+			}
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	t.done = true
+}

@@ -1,0 +1,298 @@
+package txcache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+func newStore(timeout time.Duration) *Store {
+	return New(kvcache.New(0), timeout)
+}
+
+func TestBasicReadWriteCommit(t *testing.T) {
+	s := newStore(0)
+	tx := s.Begin()
+	if err := tx.Set("k", []byte("v1"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tx.Get("k")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.Begin()
+	v, ok, err = tx2.Get("k")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get after commit = %q %v %v", v, ok, err)
+	}
+	_ = tx2.Commit()
+}
+
+func TestWriterBlocksReader(t *testing.T) {
+	s := newStore(time.Second)
+	w := s.Begin()
+	if err := w.Set("k", []byte("dirty"), 0); err != nil {
+		t.Fatal(err)
+	}
+	readerDone := make(chan error, 1)
+	go func() {
+		r := s.Begin()
+		_, _, err := r.Get("k")
+		if err == nil {
+			_ = r.Commit()
+		}
+		readerDone <- err
+	}()
+	select {
+	case err := <-readerDone:
+		t.Fatalf("reader finished while writer uncommitted: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-readerDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader did not resume after commit")
+	}
+}
+
+func TestReaderBlocksWriter(t *testing.T) {
+	s := newStore(time.Second)
+	r := s.Begin()
+	if _, _, err := r.Get("k"); err != nil { // miss still registers the read
+		t.Fatal(err)
+	}
+	writerDone := make(chan error, 1)
+	go func() {
+		w := s.Begin()
+		err := w.Set("k", []byte("x"), 0)
+		if err == nil {
+			_ = w.Commit()
+		}
+		writerDone <- err
+	}()
+	select {
+	case <-writerDone:
+		t.Fatal("writer proceeded against an uncommitted reader")
+	case <-time.After(100 * time.Millisecond):
+	}
+	_ = r.Commit()
+	select {
+	case err := <-writerDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("writer did not resume")
+	}
+}
+
+func TestOwnReadThenWriteUpgrades(t *testing.T) {
+	s := newStore(200 * time.Millisecond)
+	tx := s.Begin()
+	if _, _, err := tx.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	// The sole reader may upgrade to writer without deadlocking on itself.
+	if err := tx.Set("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx.Commit()
+}
+
+func TestDeadlockTimeout(t *testing.T) {
+	s := newStore(150 * time.Millisecond)
+	a := s.Begin()
+	b := s.Begin()
+	if _, _, err := a.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Get("y"); err != nil {
+		t.Fatal(err)
+	}
+	// a wants y (blocked by b's read), b wants x (blocked by a's read):
+	// classic deadlock; the timeout must break it.
+	errCh := make(chan error, 2)
+	go func() { errCh <- a.Set("y", []byte("1"), 0) }()
+	go func() { errCh <- b.Set("x", []byte("2"), 0) }()
+	deadlocks := 0
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errCh:
+			if errors.Is(err, ErrDeadlock) {
+				deadlocks++
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("deadlock not resolved by timeout")
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("no deadlock error surfaced")
+	}
+	_ = a.Abort()
+	_ = b.Abort()
+	dl, _ := s.Stats()
+	if dl == 0 {
+		t.Fatal("deadlock counter not bumped")
+	}
+}
+
+func TestAbortRemovesWrittenKeys(t *testing.T) {
+	inner := kvcache.New(0)
+	s := New(inner, time.Second)
+	inner.Set("k", []byte("committed"), 0)
+	tx := s.Begin()
+	if err := tx.Set("k", []byte("dirty"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// Aborted writes must not linger: the key is gone so readers go to the
+	// database (paper §3.3).
+	if _, ok := inner.Get("k"); ok {
+		t.Fatal("aborted write left a value in the cache")
+	}
+	// Locks must be released.
+	tx2 := s.Begin()
+	if err := tx2.Set("k", []byte("fresh"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = tx2.Commit()
+}
+
+func TestTxnDoneErrors(t *testing.T) {
+	s := newStore(0)
+	tx := s.Begin()
+	_ = tx.Commit()
+	if err := tx.Set("k", nil, 0); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := tx.Get("k"); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatalf("abort after commit should be a no-op, got %v", err)
+	}
+}
+
+func TestConcurrentReadersShareKey(t *testing.T) {
+	s := newStore(time.Second)
+	inner := s.inner.(*kvcache.Store)
+	inner.Set("k", []byte("v"), 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := s.Begin()
+			if _, _, err := tx.Get("k"); err != nil {
+				t.Error(err)
+			}
+			_ = tx.Commit()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSerializableCounter: concurrent read-modify-write transactions with
+// deadlock-abort-retry must not lose updates — the serializability the
+// paper's design claims.
+func TestSerializableCounter(t *testing.T) {
+	s := newStore(50 * time.Millisecond)
+	boot := s.Begin()
+	if err := boot.Set("ctr", []byte("0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = boot.Commit()
+
+	const goroutines = 6
+	const perG = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			backoff := func(attempt int) {
+				time.Sleep(time.Duration(rng.Intn(1000*(attempt+1))) * time.Microsecond)
+			}
+			for i := 0; i < perG; i++ {
+				for attempt := 0; ; attempt++ {
+					tx := s.Begin()
+					v, ok, err := tx.Get("ctr")
+					if err != nil {
+						_ = tx.Abort()
+						backoff(attempt)
+						continue
+					}
+					if !ok {
+						_ = tx.Abort()
+						t.Error("counter vanished")
+						return
+					}
+					n, _ := strconv.Atoi(string(v))
+					if err := tx.Set("ctr", []byte(strconv.Itoa(n+1)), 0); err != nil {
+						_ = tx.Abort() // deadlock victim: back off and retry
+						backoff(attempt)
+						continue
+					}
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+					break
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	final := s.Begin()
+	v, ok, err := final.Get("ctr")
+	if err != nil || !ok {
+		t.Fatalf("final read: %v %v", ok, err)
+	}
+	n, _ := strconv.Atoi(string(v))
+	if n != goroutines*perG {
+		t.Fatalf("counter = %d, want %d (lost updates)", n, goroutines*perG)
+	}
+	_ = final.Commit()
+}
+
+func TestKeyStateGarbageCollected(t *testing.T) {
+	s := newStore(0)
+	for i := 0; i < 100; i++ {
+		tx := s.Begin()
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := tx.Get(key); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Set(key, []byte("v"), 0); err != nil {
+			t.Fatal(err)
+		}
+		_ = tx.Commit()
+	}
+	s.mu.Lock()
+	n := len(s.keys)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d key states leaked after commit", n)
+	}
+}

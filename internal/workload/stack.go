@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cachegenie/internal/cluster"
+	"cachegenie/internal/core"
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/latency"
+	"cachegenie/internal/orm"
+	"cachegenie/internal/social"
+	"cachegenie/internal/sqldb"
+)
+
+// Mode selects the caching configuration under test (paper §5: NoCache,
+// Invalidate, Update).
+type Mode int
+
+// Modes.
+const (
+	ModeNoCache Mode = iota
+	ModeInvalidate
+	ModeUpdate
+)
+
+var modeNames = map[Mode]string{
+	ModeNoCache: "NoCache", ModeInvalidate: "Invalidate", ModeUpdate: "Update",
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string { return modeNames[m] }
+
+// StackConfig assembles one experimental system.
+type StackConfig struct {
+	Mode Mode
+	// CacheBytes caps the cache (0 = unbounded). The paper's default is
+	// 512 MB on a 10 GB database; scale accordingly.
+	CacheBytes int64
+	// CacheNodes > 1 spreads the cache over a consistent-hash ring of
+	// in-process stores (each sized CacheBytes/CacheNodes).
+	CacheNodes int
+	// LatencyScale enables the paper-calibrated injected latency model,
+	// divided by the given factor (0 disables; 1 = paper-absolute;
+	// 10 = default experiment scale).
+	LatencyScale int
+	// BufferPoolPages sizes the DB buffer pool (0 = engine default). The
+	// colocated-cache variant of Experiment 4 shrinks this.
+	BufferPoolPages int
+	// DiskWidth bounds concurrent simulated-disk requests.
+	DiskWidth int
+	// Seed configures the dataset; zero value uses social.DefaultSeed.
+	Seed social.SeedConfig
+	// RngSeed makes seeding deterministic.
+	RngSeed int64
+	// ReuseTriggerConnections enables the paper's proposed trigger
+	// connection reuse optimization (ablation).
+	ReuseTriggerConnections bool
+	// Sleeper overrides time passage (tests use CountingSleeper).
+	Sleeper latency.Sleeper
+}
+
+// Stack is an assembled system under test.
+type Stack struct {
+	Config StackConfig
+	Model  latency.Model
+	DB     *sqldb.DB
+	Reg    *orm.Registry
+	Genie  *core.Genie // nil in NoCache mode
+	App    *social.App
+	// Stores are the raw cache nodes (for stats); Cache is the logical
+	// cache the Genie uses (possibly latency-wrapped and/or a ring).
+	Stores []*kvcache.Store
+	Cache  kvcache.Cache
+}
+
+// BuildStack assembles and seeds a system under test.
+func BuildStack(cfg StackConfig) (*Stack, error) {
+	if cfg.CacheNodes <= 0 {
+		cfg.CacheNodes = 1
+	}
+	if cfg.Seed.Users == 0 {
+		cfg.Seed = social.DefaultSeed()
+	}
+	sleeper := cfg.Sleeper
+	if sleeper == nil {
+		sleeper = latency.RealSleeper{}
+	}
+	var model latency.Model
+	if cfg.LatencyScale > 0 {
+		model = latency.PaperScaled(cfg.LatencyScale)
+	}
+	db := sqldb.Open(sqldb.Config{
+		BufferPoolPages: cfg.BufferPoolPages,
+		DiskWidth:       cfg.DiskWidth,
+		Latency:         model,
+		Sleeper:         sleeper,
+		LockTimeout:     10 * time.Second,
+	})
+	reg := orm.NewRegistry(db)
+	if err := social.RegisterModels(reg); err != nil {
+		return nil, err
+	}
+	if err := reg.CreateTables(); err != nil {
+		return nil, err
+	}
+
+	st := &Stack{Config: cfg, Model: model, DB: db, Reg: reg}
+	perNode := cfg.CacheBytes
+	if cfg.CacheNodes > 1 && perNode > 0 {
+		perNode = cfg.CacheBytes / int64(cfg.CacheNodes)
+	}
+	for i := 0; i < cfg.CacheNodes; i++ {
+		st.Stores = append(st.Stores, kvcache.New(perNode))
+	}
+	var logical kvcache.Cache
+	if cfg.CacheNodes == 1 {
+		logical = st.Stores[0]
+	} else {
+		nodes := make([]kvcache.Cache, len(st.Stores))
+		for i, s := range st.Stores {
+			nodes[i] = s
+		}
+		ring, err := cluster.NewRing(nodes)
+		if err != nil {
+			return nil, err
+		}
+		logical = ring
+	}
+	if model.CacheRoundTrip > 0 {
+		logical = kvcache.WithLatency(logical, model.CacheRoundTrip, sleeper)
+	}
+	st.Cache = logical
+
+	strategy := core.UpdateInPlace
+	if cfg.Mode == ModeInvalidate {
+		strategy = core.Invalidate
+	}
+	if cfg.Mode != ModeNoCache {
+		g, err := core.New(core.Config{
+			Registry:                reg,
+			DB:                      db,
+			Cache:                   logical,
+			TriggerConnectCost:      model.CacheConnect,
+			ReuseTriggerConnections: cfg.ReuseTriggerConnections,
+			Sleeper:                 sleeper,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.Genie = g
+	}
+	app, err := social.NewApp(reg, st.Genie, strategy)
+	if err != nil {
+		return nil, err
+	}
+	st.App = app
+	if err := app.Seed(cfg.Seed, rand.New(rand.NewSource(cfg.RngSeed+1))); err != nil {
+		return nil, fmt.Errorf("workload: seeding: %w", err)
+	}
+	return st, nil
+}
+
+// CacheStats aggregates stats across the stack's cache nodes.
+func (s *Stack) CacheStats() kvcache.Stats {
+	var agg kvcache.Stats
+	for _, st := range s.Stores {
+		x := st.Stats()
+		agg.Hits += x.Hits
+		agg.Misses += x.Misses
+		agg.Sets += x.Sets
+		agg.Deletes += x.Deletes
+		agg.Evictions += x.Evictions
+		agg.Expired += x.Expired
+		agg.CasConflicts += x.CasConflicts
+		agg.Items += x.Items
+		agg.BytesUsed += x.BytesUsed
+		agg.BytesLimit += x.BytesLimit
+	}
+	return agg
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUserSamplerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewUserSampler(50, 2.0, rng)
+	for i := 0; i < 5000; i++ {
+		u := s.Sample(rng)
+		if u < 1 || u > 50 {
+			t.Fatalf("user %d out of range", u)
+		}
+	}
+}
+
+// TestUserSamplerSkewDirection pins the paper's §5.1 parameterization: a
+// LOWER zipf parameter concentrates sessions on fewer users (heavier tail
+// of the per-user session-count distribution), which is what makes the
+// cached systems faster at a=1.2 than a=2.0 in Figure 3b.
+func TestUserSamplerSkewDirection(t *testing.T) {
+	share := func(a float64) float64 {
+		// Average over several draws to smooth sampling noise.
+		total := 0.0
+		for seed := int64(0); seed < 10; seed++ {
+			s := NewUserSampler(500, a, rand.New(rand.NewSource(seed)))
+			total += s.TopUserShare()
+		}
+		return total / 10
+	}
+	lowA := share(1.2)  // heavy-tailed counts: a few power users
+	highA := share(2.0) // most users have one session
+	if lowA <= highA {
+		t.Fatalf("top-user share: a=1.2 gives %.4f, a=2.0 gives %.4f; want low-a more concentrated",
+			lowA, highA)
+	}
+}
+
+func TestUserSamplerCoversAllUsers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewUserSampler(20, 2.0, rng)
+	seen := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[s.Sample(rng)] = true
+	}
+	// With a=2.0 weights are near-uniform (mostly 1), so every user should
+	// appear.
+	if len(seen) != 20 {
+		t.Fatalf("only %d/20 users sampled", len(seen))
+	}
+}
