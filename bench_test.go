@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cachegenie/internal/core"
+	"cachegenie/internal/invbus"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/latency"
 	"cachegenie/internal/orm"
@@ -311,6 +312,75 @@ func BenchmarkExp5TriggerOverhead(b *testing.B) {
 				b.ReportMetric(100*(ideal-with)/ideal, "overhead-pct")
 			}
 			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// ---------- Experiment 6: asynchronous invalidation bus ----------
+
+// BenchmarkExp6AsyncInvalidation compares synchronous per-op trigger→cache
+// propagation against the asynchronous batched invalidation bus on a
+// write-heavy mix with the paper's trigger connection cost in effect.
+// Expected shape: async wins on write throughput and p99 write latency —
+// the §5.3 connection setup and per-op round trips leave the write path
+// and are amortized per batch by the bus.
+func BenchmarkExp6AsyncInvalidation(b *testing.B) {
+	opt := benchOpts()
+	for _, async := range []bool{false, true} {
+		b.Run(fmt.Sprintf("async=%v", async), func(b *testing.B) {
+			var tp, p99 float64
+			for i := 0; i < b.N; i++ {
+				st, err := workload.BuildStackForExp6(opt, workload.ModeUpdate, async)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := workload.Run(st, workload.RunConfig{
+					Clients: 15, Sessions: 3, PagesPerSession: 8, WritePct: 60,
+					ZipfA: 2.0, WarmupSessions: 20, RngSeed: 3,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp += rep.Throughput
+				p99 += float64(rep.ByPage[social.PageCreateBM].P99.Microseconds()) / 1000
+				if st.Genie != nil {
+					st.Genie.Close()
+				}
+			}
+			b.ReportMetric(tp/float64(b.N), "pages/s")
+			b.ReportMetric(p99/float64(b.N), "write-p99-ms")
+			b.ReportMetric(0, "ns/op")
+		})
+	}
+}
+
+// BenchmarkInvBusPropagation measures the bus directly: b.N invalidations
+// against a latency-wrapped cache, sync (one connection charge + one round
+// trip per op) vs async (amortized per flush). The ops/s gap is the §5.3
+// overhead converted into a tunable.
+func BenchmarkInvBusPropagation(b *testing.B) {
+	model := latency.PaperScaled(500)
+	for _, sync := range []bool{true, false} {
+		name := "async"
+		if sync {
+			name = "sync"
+		}
+		b.Run(name, func(b *testing.B) {
+			cache := kvcache.WithLatency(kvcache.New(0), model.CacheRoundTrip, latency.RealSleeper{})
+			bus := invbus.New(invbus.Config{
+				Cache: cache, Sync: sync,
+				ConnectCost: model.CacheConnect, Sleeper: latency.RealSleeper{},
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Publish(invbus.Op{Kind: invbus.OpDelete, Key: fmt.Sprintf("key-%d", i%512)})
+			}
+			bus.Close()
+			b.StopTimer()
+			st := bus.Stats()
+			if st.Flushes > 0 {
+				b.ReportMetric(float64(st.Enqueued)/float64(st.Flushes), "ops/flush")
+			}
 		})
 	}
 }

@@ -19,8 +19,31 @@
 //     invalidate / update-in-place / TTL consistency strategies;
 //   - the §3.3 transactional-cache extension (txcache) and the GlobeCBC
 //     template-invalidation baseline (templateinv);
+//   - the asynchronous batched invalidation bus (invbus), which decouples
+//     trigger firings from cache maintenance;
 //   - the evaluation workload (social, workload) reproducing the paper's
 //     Pinax experiments.
+//
+// # Invalidation bus
+//
+// The paper measures (§5.3) that the dominant trigger cost is the
+// trigger→cache hop: opening a connection from a trigger roughly doubles
+// INSERT latency, and each cache operation adds a synchronous round trip to
+// the write path. Setting Config.AsyncInvalidation routes all trigger
+// maintenance through internal/invbus instead: triggers enqueue typed ops
+// and return immediately, and per-shard workers coalesce pending ops
+// (redundant deletes dedup, adjacent increments merge) and flush them as
+// pipelined batches — one connection charge and one round trip per batch.
+// Per-key FIFO ordering is preserved via key-hash sharded queues, and
+// read-miss repopulation rides the same queues so it serializes correctly
+// with pending trigger ops. Config.BatchWindow tunes the coalescing window.
+//
+// The trade is bounded staleness: in async mode the cache may lag the
+// database by roughly the batch window plus queueing delay, and top-K
+// reserve exhaustion drops the key for re-read instead of recomputing
+// inside the trigger's transaction. Prefer the default synchronous mode
+// (the paper-faithful configuration) when readers require
+// read-your-triggered-writes without an explicit Genie.FlushInvalidations.
 //
 // Quick start
 //
@@ -52,6 +75,7 @@ package cachegenie
 
 import (
 	"cachegenie/internal/core"
+	"cachegenie/internal/invbus"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/orm"
 	"cachegenie/internal/sqldb"
@@ -149,3 +173,21 @@ type (
 // NewCache creates an in-process cache with the given byte capacity
 // (0 = unbounded).
 func NewCache(capacityBytes int64) *CacheStore { return kvcache.New(capacityBytes) }
+
+// Invalidation bus API (internal/invbus). The bus is armed through
+// Config.AsyncInvalidation and inspected through Genie.BusStats; the types
+// are re-exported for callers that drive a bus directly.
+type (
+	// InvBus is the asynchronous batching invalidation bus.
+	InvBus = invbus.Bus
+	// InvBusConfig assembles a standalone bus.
+	InvBusConfig = invbus.Config
+	// InvBusOp is one unit of cache maintenance published to a bus.
+	InvBusOp = invbus.Op
+	// InvBusStats counts bus activity (enqueued, applied, coalesced,
+	// flushes, max batch, max lag).
+	InvBusStats = invbus.Stats
+)
+
+// NewInvBus creates a standalone invalidation bus over a cache.
+func NewInvBus(cfg InvBusConfig) *InvBus { return invbus.New(cfg) }

@@ -13,9 +13,14 @@
 //	genieload -experiment exp4           # Fig 3c cache size
 //	genieload -experiment exp4b          # colocated-cache variant
 //	genieload -experiment exp5           # trigger overhead under load
+//	genieload -experiment exp6           # sync vs async invalidation bus
 //	genieload -experiment micro          # §5.3 microbenchmarks
 //	genieload -experiment effort         # §5.2 programmer effort
 //	genieload -experiment ablation       # template-invalidation baseline
+//
+// The -async flag routes trigger cache maintenance through the batching
+// invalidation bus (internal/invbus) in every experiment, and -batch-window
+// tunes its coalescing window; exp6 sweeps sync vs async itself.
 package main
 
 import (
@@ -29,12 +34,17 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, micro, effort, ablation)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, micro, effort, ablation)")
 	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	async := flag.Bool("async", false, "route trigger cache maintenance through the async invalidation bus")
+	batchWindow := flag.Duration("batch-window", 0, "invalidation bus coalescing window (0 = bus default)")
 	flag.Parse()
 
-	opt := workload.ExpOptions{LatencyScale: *scale, Quick: *quick, Out: os.Stdout}
+	opt := workload.ExpOptions{
+		LatencyScale: *scale, Quick: *quick, Out: os.Stdout,
+		Async: *async, BatchWindow: *batchWindow,
+	}
 	run := func(name string, fn func() error) {
 		fmt.Printf("\n== %s ==\n", name)
 		start := time.Now()
@@ -128,6 +138,13 @@ func main() {
 		matched = true
 		run("Experiment 5: trigger overhead under load", func() error {
 			_, err := workload.Exp5(opt)
+			return err
+		})
+	}
+	if all || *experiment == "exp6" {
+		matched = true
+		run("Experiment 6: sync vs async trigger propagation (invalidation bus)", func() error {
+			_, err := workload.Exp6(opt)
 			return err
 		})
 	}

@@ -1,0 +1,3 @@
+module cachegenie
+
+go 1.24

@@ -196,6 +196,60 @@ func (c *Client) FlushAll() {
 	_, _ = c.roundTrip("flush_all", nil)
 }
 
+var _ kvcache.BatchApplier = (*Client)(nil)
+
+// ApplyBatch implements kvcache.BatchApplier over the pipelined mop command:
+// every op in the batch is written in one flush and all results are read
+// back together, so the batch costs a single network round trip instead of
+// one per op. Network errors surface as zero-valued results (not-found /
+// not-stored), mirroring the per-op methods' degraded behaviour.
+func (c *Client) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
+	out := make([]kvcache.BatchResult, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "mop %d\r\n", len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case kvcache.BatchSet:
+			fmt.Fprintf(c.w, "set %s 0 %d %d\r\n", op.Key, ttlSeconds(op.TTL), len(op.Value))
+			c.w.Write(op.Value)
+			c.w.WriteString("\r\n")
+		case kvcache.BatchIncr:
+			fmt.Fprintf(c.w, "incr %s %d\r\n", op.Key, op.Delta)
+		default:
+			fmt.Fprintf(c.w, "delete %s\r\n", op.Key)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return out
+	}
+	for i := range ops {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return out
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch ops[i].Kind {
+		case kvcache.BatchSet:
+			out[i] = kvcache.BatchResult{Found: line == "STORED"}
+		case kvcache.BatchIncr:
+			if n, perr := strconv.ParseInt(line, 10, 64); perr == nil {
+				out[i] = kvcache.BatchResult{Found: true, Value: n}
+			}
+		default:
+			out[i] = kvcache.BatchResult{Found: line == "DELETED"}
+		}
+	}
+	// Trailing END frames the batch response.
+	if line, err := c.r.ReadString('\n'); err != nil || strings.TrimRight(line, "\r\n") != "END" {
+		return out
+	}
+	return out
+}
+
 // ServerStats fetches the server's counters.
 func (c *Client) ServerStats() (map[string]int64, error) {
 	c.mu.Lock()

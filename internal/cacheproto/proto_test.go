@@ -202,3 +202,47 @@ func TestSharedClientConcurrency(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestClientApplyBatchPipelinedRoundTrip(t *testing.T) {
+	store, cli := newPair(t)
+	store.Set("old", []byte("x"), 0)
+	store.Set("ctr", []byte("9"), 0)
+	ops := []kvcache.BatchOp{
+		{Kind: kvcache.BatchSet, Key: "a", Value: []byte("va")},
+		{Kind: kvcache.BatchSet, Key: "bin", Value: []byte("x\r\ny\x00z")},
+		{Kind: kvcache.BatchIncr, Key: "ctr", Delta: -4},
+		{Kind: kvcache.BatchDelete, Key: "old"},
+		{Kind: kvcache.BatchDelete, Key: "missing"},
+	}
+	res := cli.ApplyBatch(ops)
+	want := []kvcache.BatchResult{
+		{Found: true},
+		{Found: true},
+		{Found: true, Value: 5},
+		{Found: true},
+		{Found: false},
+	}
+	for i, w := range want {
+		if res[i] != w {
+			t.Fatalf("op %d: result %+v, want %+v", i, res[i], w)
+		}
+	}
+	if v, ok := store.Get("bin"); !ok || string(v) != "x\r\ny\x00z" {
+		t.Fatalf("binary batch value corrupted: %q", v)
+	}
+	if _, ok := store.Get("old"); ok {
+		t.Fatal("batched delete did not apply")
+	}
+	// The connection stays framed: a normal op after a batch still works.
+	cli.Set("after", []byte("ok"), 0)
+	if v, ok := cli.Get("after"); !ok || string(v) != "ok" {
+		t.Fatalf("connection desynced after batch: %q %v", v, ok)
+	}
+}
+
+func TestClientApplyBatchEmpty(t *testing.T) {
+	_, cli := newPair(t)
+	if res := cli.ApplyBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}

@@ -16,6 +16,16 @@
 //	flush_all\r\n
 //	stats\r\n
 //	quit\r\n
+//
+// Plus one extension beyond memcached's command set, used by the
+// invalidation bus (internal/invbus) to flush coalesced batches in a single
+// round trip:
+//
+//	mop <count>\r\n
+//	<count> sub-commands (set / add / delete / incr, standard form)
+//
+// The server buffers one result line per sub-command and flushes them with a
+// trailing END\r\n, so the whole batch costs one network round trip.
 package cacheproto
 
 import (
@@ -238,6 +248,37 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		} else {
 			fmt.Fprintf(w, "%d\r\n", n)
 		}
+		return false, nil
+	case "mop":
+		if len(fields) != 2 {
+			return false, errors.New("mop needs a count")
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil || count < 0 {
+			return false, errors.New("bad mop count")
+		}
+		for i := 0; i < count; i++ {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return false, err
+			}
+			sub := strings.Fields(strings.TrimRight(line, "\r\n"))
+			if len(sub) == 0 {
+				return false, errors.New("empty mop sub-command")
+			}
+			switch sub[0] {
+			case "set", "add", "delete", "incr":
+				// One result line each; errors abort the batch (the
+				// client generates sub-commands programmatically, so a
+				// malformed one means the stream is unframed anyway).
+				if _, err := s.dispatch(sub, r, w); err != nil {
+					return false, err
+				}
+			default:
+				return false, fmt.Errorf("command %q not allowed in mop", sub[0])
+			}
+		}
+		w.WriteString("END\r\n")
 		return false, nil
 	case "flush_all":
 		s.store.FlushAll()

@@ -114,6 +114,46 @@ func (r *Ring) Delete(key string) bool { return r.pick(key).Delete(key) }
 // Incr implements kvcache.Cache.
 func (r *Ring) Incr(key string, delta int64) (int64, bool) { return r.pick(key).Incr(key, delta) }
 
+var _ kvcache.BatchApplier = (*Ring)(nil)
+
+// ApplyBatch implements kvcache.BatchApplier: one logical batch fans out as
+// one sub-batch per owning node, preserving the batch's relative op order
+// within each node and reassembling results in input order.
+func (r *Ring) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	// Fast path: a batch wholly owned by one node forwards as-is.
+	first := r.NodeFor(ops[0].Key)
+	single := true
+	for _, op := range ops[1:] {
+		if r.NodeFor(op.Key) != first {
+			single = false
+			break
+		}
+	}
+	if single {
+		return kvcache.ApplyBatchOn(r.nodes[first], ops)
+	}
+	byNode := make(map[int][]int)
+	for i, op := range ops {
+		n := r.NodeFor(op.Key)
+		byNode[n] = append(byNode[n], i)
+	}
+	out := make([]kvcache.BatchResult, len(ops))
+	for n, idxs := range byNode {
+		sub := make([]kvcache.BatchOp, len(idxs))
+		for j, i := range idxs {
+			sub[j] = ops[i]
+		}
+		res := kvcache.ApplyBatchOn(r.nodes[n], sub)
+		for j, i := range idxs {
+			out[i] = res[j]
+		}
+	}
+	return out
+}
+
 // FlushAll implements kvcache.Cache; it flushes every node.
 func (r *Ring) FlushAll() {
 	for _, n := range r.nodes {

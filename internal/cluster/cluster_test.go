@@ -122,3 +122,50 @@ func TestRingIncrDeleteFlush(t *testing.T) {
 		}
 	}
 }
+
+func TestRingApplyBatchRoutesToOwners(t *testing.T) {
+	r, stores := newTestRing(t, 3)
+	var ops []kvcache.BatchOp
+	for i := 0; i < 60; i++ {
+		ops = append(ops, kvcache.BatchOp{
+			Kind: kvcache.BatchSet, Key: fmt.Sprintf("key-%d", i), Value: []byte(fmt.Sprintf("v%d", i)),
+		})
+	}
+	res := r.ApplyBatch(ops)
+	if len(res) != len(ops) {
+		t.Fatalf("results = %d, want %d", len(res), len(ops))
+	}
+	// Every key landed on exactly the node the ring routes it to.
+	for i := 0; i < 60; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		owner := r.NodeFor(k)
+		for ni, s := range stores {
+			_, ok := s.GetQuiet(k)
+			if ok != (ni == owner) {
+				t.Fatalf("%s: present on node %d (owner %d)", k, ni, owner)
+			}
+		}
+	}
+	spread := 0
+	for _, s := range stores {
+		if s.Len() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("batch landed on %d nodes, want a spread", spread)
+	}
+	// Mixed batch: results come back in input order with per-op outcomes.
+	mixed := []kvcache.BatchOp{
+		{Kind: kvcache.BatchDelete, Key: "key-0"},
+		{Kind: kvcache.BatchDelete, Key: "never-existed"},
+		{Kind: kvcache.BatchSet, Key: "key-0", Value: []byte("back")},
+	}
+	mres := r.ApplyBatch(mixed)
+	if !mres[0].Found || mres[1].Found || !mres[2].Found {
+		t.Fatalf("mixed results = %+v", mres)
+	}
+	if v, ok := r.Get("key-0"); !ok || string(v) != "back" {
+		t.Fatalf("key-0 = %q/%v", v, ok)
+	}
+}

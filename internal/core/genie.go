@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cachegenie/internal/invbus"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/latency"
 	"cachegenie/internal/orm"
@@ -37,6 +38,18 @@ type Config struct {
 	// Sleeper implements time passage for injected costs (default real).
 	Sleeper latency.Sleeper
 
+	// AsyncInvalidation routes all trigger→cache maintenance (and read-path
+	// repopulation, so per-key ordering holds between the two) through the
+	// asynchronous batching invalidation bus (internal/invbus) instead of
+	// one synchronous round trip per cache op. Writes stop waiting on cache
+	// maintenance; in exchange the cache may lag the database by a bounded
+	// staleness window of roughly BatchWindow plus queueing delay. Call
+	// FlushInvalidations to drain when read-your-triggered-writes matters.
+	AsyncInvalidation bool
+	// BatchWindow is how long a bus worker coalesces ops before flushing
+	// (0 = the bus default, 1ms). Only meaningful with AsyncInvalidation.
+	BatchWindow time.Duration
+
 	// DefaultTTL bounds the lifetime of all cached entries (0 = none).
 	DefaultTTL time.Duration
 	// Disabled creates the Genie without intercepting reads or installing
@@ -63,6 +76,9 @@ type Genie struct {
 	cache   kvcache.Cache
 	sleeper latency.Sleeper
 	cfg     Config
+	// bus is non-nil in async mode; triggers and repopulation publish to it
+	// instead of issuing per-op cache round trips.
+	bus *invbus.Bus
 
 	mu      sync.Mutex
 	objects map[string]*CachedObject
@@ -98,10 +114,47 @@ func New(cfg Config) (*Genie, error) {
 		objects: make(map[string]*CachedObject),
 		byModel: make(map[string][]*CachedObject),
 	}
+	if cfg.AsyncInvalidation && !cfg.Disabled {
+		connect := cfg.TriggerConnectCost
+		if cfg.ReuseTriggerConnections {
+			connect = 0
+		}
+		g.bus = invbus.New(invbus.Config{
+			Cache:       cfg.Cache,
+			BatchWindow: cfg.BatchWindow,
+			ConnectCost: connect,
+			Sleeper:     cfg.Sleeper,
+		})
+	}
 	if !cfg.Disabled {
 		cfg.Registry.SetInterceptor(g)
 	}
 	return g, nil
+}
+
+// FlushInvalidations drains the invalidation bus: every trigger op
+// published before the call is applied to the cache when it returns. No-op
+// in synchronous mode.
+func (g *Genie) FlushInvalidations() {
+	if g.bus != nil {
+		g.bus.Flush()
+	}
+}
+
+// Close drains and stops the invalidation bus (no-op in synchronous mode).
+// Trigger firings after Close fall back to synchronous cache maintenance.
+func (g *Genie) Close() {
+	if g.bus != nil {
+		g.bus.Close()
+	}
+}
+
+// BusStats returns the invalidation bus's counters (zero in sync mode).
+func (g *Genie) BusStats() invbus.Stats {
+	if g.bus == nil {
+		return invbus.Stats{}
+	}
+	return g.bus.Stats()
 }
 
 // Stats returns a snapshot of counters.
@@ -138,6 +191,34 @@ func (g *Genie) chargeTriggerConnect() {
 	if !g.cfg.ReuseTriggerConnections && g.cfg.TriggerConnectCost > 0 {
 		g.sleeper.Sleep(g.cfg.TriggerConnectCost)
 	}
+}
+
+// populate stores a freshly computed entry after a read miss. In async mode
+// the Add rides the bus so it serializes after any trigger ops already
+// queued for the key — applying it directly would let a stale queued
+// update land on top of (or a queued incr double-count against) the fresh
+// database-derived value.
+func (g *Genie) populate(key string, enc []byte, ttl time.Duration) {
+	if g.bus != nil {
+		g.bus.Publish(invbus.Op{Kind: invbus.OpCasUpdate, Key: key, Update: func(c kvcache.Cache) {
+			if !c.Add(key, enc, ttl) {
+				g.populateRefused.Add(1)
+			}
+		}})
+		return
+	}
+	if !g.cache.Add(key, enc, ttl) {
+		g.populateRefused.Add(1)
+	}
+}
+
+// dropKey removes a corrupt or unparseable entry, via the bus when async.
+func (g *Genie) dropKey(key string) {
+	if g.bus != nil {
+		g.bus.Publish(invbus.Op{Kind: invbus.OpDelete, Key: key})
+		return
+	}
+	g.cache.Delete(key)
 }
 
 // CachedObject is one declared cached object: an instance of a cache class
@@ -322,7 +403,7 @@ func (co *CachedObject) Rows(vals ...sqldb.Value) ([]sqldb.Row, error) {
 			return rows, nil
 		}
 		// Corrupt entry: drop it and fall through to the database.
-		co.g.cache.Delete(key)
+		co.g.dropKey(key)
 	}
 	co.g.misses.Add(1)
 	rows, exhaustive, err := co.fetchFromDB(co.g.reg.Conn(), vals)
@@ -330,9 +411,7 @@ func (co *CachedObject) Rows(vals ...sqldb.Value) ([]sqldb.Row, error) {
 		return nil, err
 	}
 	enc := encodePayload(payload{exhaustive: exhaustive, rows: rows})
-	if !co.g.cache.Add(key, enc, co.ttl()) {
-		co.g.populateRefused.Add(1)
-	}
+	co.g.populate(key, enc, co.ttl())
 	if co.spec.Class == TopKQuery && len(rows) > co.spec.K {
 		rows = rows[:co.spec.K]
 	}
@@ -350,7 +429,7 @@ func (co *CachedObject) Count(vals ...sqldb.Value) (int64, error) {
 			co.g.hits.Add(1)
 			return n, nil
 		}
-		co.g.cache.Delete(key)
+		co.g.dropKey(key)
 	}
 	co.g.misses.Add(1)
 	args := make([]sqldb.Value, len(vals))
@@ -360,9 +439,7 @@ func (co *CachedObject) Count(vals ...sqldb.Value) (int64, error) {
 		return 0, err
 	}
 	n := rs.Rows[0][0].I
-	if !co.g.cache.Add(key, []byte(fmt.Sprintf("%d", n)), co.ttl()) {
-		co.g.populateRefused.Add(1)
-	}
+	co.g.populate(key, []byte(fmt.Sprintf("%d", n)), co.ttl())
 	return n, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cachegenie/internal/invbus"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/sqldb"
 )
@@ -113,40 +114,68 @@ func (co *CachedObject) whereValsFromRow(row sqldb.Row) []sqldb.Value {
 	return vals
 }
 
-// invalidateKey deletes a key (the invalidate strategy's whole job).
+// invalidateKey deletes a key (the invalidate strategy's whole job). In
+// async mode the delete rides the invalidation bus; redundant pending
+// deletes of the same key coalesce there into one.
 func (co *CachedObject) invalidateKey(key string) {
-	co.g.chargeTriggerConnect()
-	if co.g.cache.Delete(key) {
-		co.g.trigDeletes.Add(1)
+	g := co.g
+	if g.bus != nil {
+		g.bus.Publish(invbus.Op{Kind: invbus.OpDelete, Key: key, Done: func(r invbus.Result) {
+			if r.Found {
+				g.trigDeletes.Add(1)
+			} else {
+				g.trigSkips.Add(1)
+			}
+		}})
+		return
+	}
+	g.chargeTriggerConnect()
+	if g.cache.Delete(key) {
+		g.trigDeletes.Add(1)
 	} else {
-		co.g.trigSkips.Add(1)
+		g.trigSkips.Add(1)
 	}
 }
 
-// casMutate runs the paper's gets -> modify -> cas loop against key. fn
-// mutates the decoded payload and reports whether anything changed. If the
-// key is absent the trigger quits (the paper's behaviour: uncached entries
-// are repopulated on the next read miss). Retries on CAS conflicts; falls
-// back to invalidation if the conflict persists.
+// casMutate applies the paper's gets -> modify -> cas exchange against key:
+// synchronously (after charging the trigger's connection cost), or as a
+// CAS-update descriptor on the invalidation bus in async mode, where the
+// shard worker runs it amortized and in per-key publish order.
 func (co *CachedObject) casMutate(key string, fn func(p *payload) bool) {
 	g := co.g
+	if g.bus != nil {
+		g.bus.Publish(invbus.Op{Kind: invbus.OpCasUpdate, Key: key, Update: func(c kvcache.Cache) {
+			co.casLoop(c, key, fn)
+		}})
+		return
+	}
 	g.chargeTriggerConnect()
+	co.casLoop(g.cache, key, fn)
+}
+
+// casLoop is the gets -> modify -> cas retry loop. fn mutates the decoded
+// payload and reports whether anything changed. If the key is absent the
+// trigger quits (the paper's behaviour: uncached entries are repopulated on
+// the next read miss). Retries on CAS conflicts; falls back to invalidation
+// if the conflict persists.
+func (co *CachedObject) casLoop(c kvcache.Cache, key string, fn func(p *payload) bool) {
+	g := co.g
 	for attempt := 0; ; attempt++ {
-		raw, tok, ok := g.cache.Gets(key)
+		raw, tok, ok := c.Gets(key)
 		if !ok {
 			g.trigSkips.Add(1)
 			return
 		}
 		p, err := decodePayload(raw)
 		if err != nil {
-			g.cache.Delete(key)
+			c.Delete(key)
 			g.trigDeletes.Add(1)
 			return
 		}
 		if !fn(&p) {
 			return
 		}
-		switch g.cache.Cas(key, encodePayload(p), co.ttl(), tok) {
+		switch c.Cas(key, encodePayload(p), co.ttl(), tok) {
 		case kvcache.CasStored:
 			g.trigUpdates.Add(1)
 			return
@@ -156,7 +185,7 @@ func (co *CachedObject) casMutate(key string, fn func(p *payload) bool) {
 		case kvcache.CasConflict:
 			g.casRetries.Add(1)
 			if attempt >= maxCasRetries {
-				g.cache.Delete(key)
+				c.Delete(key)
 				g.trigDeletes.Add(1)
 				return
 			}
@@ -246,19 +275,27 @@ func (co *CachedObject) featureTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
 // need no CAS because Incr is atomic at the cache.
 func (co *CachedObject) countTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
 	bump := func(key string, delta int64) {
-		co.g.chargeTriggerConnect()
+		g := co.g
 		if co.spec.Strategy == Invalidate {
-			if co.g.cache.Delete(key) {
-				co.g.trigDeletes.Add(1)
-			} else {
-				co.g.trigSkips.Add(1)
-			}
+			co.invalidateKey(key)
 			return
 		}
-		if _, ok := co.g.cache.Incr(key, delta); ok {
-			co.g.trigUpdates.Add(1)
+		if g.bus != nil {
+			// Adjacent pending increments on the same key merge on the bus.
+			g.bus.Publish(invbus.Op{Kind: invbus.OpIncr, Key: key, Delta: delta, Done: func(r invbus.Result) {
+				if r.Found {
+					g.trigUpdates.Add(1)
+				} else {
+					g.trigSkips.Add(1)
+				}
+			}})
+			return
+		}
+		g.chargeTriggerConnect()
+		if _, ok := g.cache.Incr(key, delta); ok {
+			g.trigUpdates.Add(1)
 		} else {
-			co.g.trigSkips.Add(1)
+			g.trigSkips.Add(1)
 		}
 	}
 	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
@@ -337,6 +374,42 @@ func (co *CachedObject) recomputeTopK(q sqldb.Queryer, key string, vals []sqldb.
 	co.g.trigUpdates.Add(1)
 }
 
+// topkRemoveAndRepair removes old's row from key's cached list and repairs
+// reserve exhaustion. In sync mode the repair recomputes the list inside the
+// trigger's own transaction (the paper's fallback); in async mode that
+// transaction is gone by the time the bus applies the op, so the key is
+// dropped instead and the next read miss repopulates it.
+func (co *CachedObject) topkRemoveAndRepair(q sqldb.Queryer, key string, old sqldb.Row) {
+	g := co.g
+	remove := func(p *payload, need *bool) bool {
+		i := findRowByPK(p.rows, rowPK(old))
+		if i < 0 {
+			return false
+		}
+		p.rows = removeRowAt(p.rows, i)
+		if len(p.rows) < co.spec.K && !p.exhaustive {
+			*need = true
+		}
+		return true
+	}
+	if g.bus != nil {
+		g.bus.Publish(invbus.Op{Kind: invbus.OpCasUpdate, Key: key, Update: func(c kvcache.Cache) {
+			need := false
+			co.casLoop(c, key, func(p *payload) bool { return remove(p, &need) })
+			if need && c.Delete(key) {
+				g.trigDeletes.Add(1)
+			}
+		}})
+		return
+	}
+	g.chargeTriggerConnect()
+	need := false
+	co.casLoop(g.cache, key, func(p *payload) bool { return remove(p, &need) })
+	if need {
+		co.recomputeTopK(q, key, co.whereValsFromRow(old))
+	}
+}
+
 func (co *CachedObject) topkTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
 	return func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
 		switch op {
@@ -358,21 +431,7 @@ func (co *CachedObject) topkTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
 				co.invalidateKey(key)
 				return nil
 			}
-			needRecompute := false
-			co.casMutate(key, func(p *payload) bool {
-				i := findRowByPK(p.rows, rowPK(ev.Old))
-				if i < 0 {
-					return false
-				}
-				p.rows = removeRowAt(p.rows, i)
-				if len(p.rows) < co.spec.K && !p.exhaustive {
-					needRecompute = true
-				}
-				return true
-			})
-			if needRecompute {
-				co.recomputeTopK(q, key, co.whereValsFromRow(ev.Old))
-			}
+			co.topkRemoveAndRepair(q, key, ev.Old)
 		case sqldb.TrigUpdate:
 			oldKey := co.keyFromRow(ev.Old, co.colIdx, co.spec.WhereFields)
 			newKey := co.keyFromRow(ev.New, co.colIdx, co.spec.WhereFields)
@@ -385,21 +444,7 @@ func (co *CachedObject) topkTrigger(op sqldb.TriggerOp) sqldb.TriggerFunc {
 			}
 			if oldKey != newKey {
 				// Moved between lists: delete from old, insert into new.
-				needRecompute := false
-				co.casMutate(oldKey, func(p *payload) bool {
-					i := findRowByPK(p.rows, rowPK(ev.Old))
-					if i < 0 {
-						return false
-					}
-					p.rows = removeRowAt(p.rows, i)
-					if len(p.rows) < co.spec.K && !p.exhaustive {
-						needRecompute = true
-					}
-					return true
-				})
-				if needRecompute {
-					co.recomputeTopK(q, oldKey, co.whereValsFromRow(ev.Old))
-				}
+				co.topkRemoveAndRepair(q, oldKey, ev.Old)
 				co.casMutate(newKey, func(p *payload) bool {
 					if findRowByPK(p.rows, rowPK(ev.New)) >= 0 {
 						return false

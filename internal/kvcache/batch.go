@@ -1,0 +1,108 @@
+package kvcache
+
+import "time"
+
+// BatchOpKind discriminates the mutations that can ride in a batch.
+type BatchOpKind int
+
+// Batchable mutations. CAS is deliberately absent: a compare-and-swap is
+// read-dependent and must run as its own gets/cas exchange; the invalidation
+// bus executes those individually between batched segments.
+const (
+	BatchDelete BatchOpKind = iota
+	BatchSet
+	BatchIncr
+)
+
+// String implements fmt.Stringer.
+func (k BatchOpKind) String() string {
+	switch k {
+	case BatchDelete:
+		return "delete"
+	case BatchSet:
+		return "set"
+	case BatchIncr:
+		return "incr"
+	}
+	return "unknown"
+}
+
+// BatchOp is one mutation in a batch.
+type BatchOp struct {
+	Kind  BatchOpKind
+	Key   string
+	Value []byte        // BatchSet payload
+	TTL   time.Duration // BatchSet entry lifetime (0 = no expiry)
+	Delta int64         // BatchIncr increment (may be negative)
+}
+
+// BatchResult reports one op's outcome, positionally matching the batch.
+type BatchResult struct {
+	// Found is true when a delete removed a live entry or an incr found a
+	// numeric entry; sets always report true.
+	Found bool
+	// Value is the post-increment value for BatchIncr.
+	Value int64
+}
+
+// BatchApplier is implemented by caches that can apply many mutations in a
+// single exchange: the in-process Store (one lock acquisition), the
+// cacheproto client (one pipelined round trip), the cluster ring (one
+// sub-batch per owning node), and the latency wrapper (one round-trip
+// charge). The invalidation bus flushes through this interface.
+type BatchApplier interface {
+	ApplyBatch(ops []BatchOp) []BatchResult
+}
+
+// ApplyBatchOn applies ops to c, using its native batch entry point when it
+// has one and falling back to per-op calls otherwise.
+func ApplyBatchOn(c Cache, ops []BatchOp) []BatchResult {
+	if ba, ok := c.(BatchApplier); ok {
+		return ba.ApplyBatch(ops)
+	}
+	out := make([]BatchResult, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case BatchSet:
+			c.Set(op.Key, op.Value, op.TTL)
+			out[i] = BatchResult{Found: true}
+		case BatchIncr:
+			n, ok := c.Incr(op.Key, op.Delta)
+			out[i] = BatchResult{Found: ok, Value: n}
+		default:
+			out[i] = BatchResult{Found: c.Delete(op.Key)}
+		}
+	}
+	return out
+}
+
+var _ BatchApplier = (*Store)(nil)
+
+// ApplyBatch implements BatchApplier under a single lock acquisition.
+func (s *Store) ApplyBatch(ops []BatchOp) []BatchResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BatchResult, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case BatchSet:
+			s.setLocked(op.Key, op.Value, op.TTL, true)
+			out[i] = BatchResult{Found: true}
+		case BatchIncr:
+			n, ok := s.incrLocked(op.Key, op.Delta)
+			out[i] = BatchResult{Found: ok, Value: n}
+		default:
+			out[i] = BatchResult{Found: s.deleteLocked(op.Key)}
+		}
+	}
+	return out
+}
+
+var _ BatchApplier = (*LatencyCache)(nil)
+
+// ApplyBatch implements BatchApplier: the whole batch costs one round trip —
+// the amortization the invalidation bus exists to exploit.
+func (l *LatencyCache) ApplyBatch(ops []BatchOp) []BatchResult {
+	l.charge()
+	return ApplyBatchOn(l.inner, ops)
+}

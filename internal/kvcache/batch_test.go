@@ -1,0 +1,76 @@
+package kvcache
+
+import (
+	"testing"
+	"time"
+
+	"cachegenie/internal/latency"
+)
+
+func TestStoreApplyBatch(t *testing.T) {
+	s := New(0)
+	s.Set("old", []byte("x"), 0)
+	s.Set("ctr", []byte("41"), 0)
+	res := s.ApplyBatch([]BatchOp{
+		{Kind: BatchSet, Key: "a", Value: []byte("va")},
+		{Kind: BatchIncr, Key: "ctr", Delta: 1},
+		{Kind: BatchDelete, Key: "old"},
+		{Kind: BatchDelete, Key: "missing"},
+		{Kind: BatchIncr, Key: "missing", Delta: 1},
+	})
+	want := []BatchResult{
+		{Found: true},
+		{Found: true, Value: 42},
+		{Found: true},
+		{Found: false},
+		{Found: false},
+	}
+	for i, w := range want {
+		if res[i] != w {
+			t.Fatalf("op %d: result %+v, want %+v", i, res[i], w)
+		}
+	}
+	if v, ok := s.Get("a"); !ok || string(v) != "va" {
+		t.Fatalf("a = %q/%v", v, ok)
+	}
+	if v, _ := s.Get("ctr"); string(v) != "42" {
+		t.Fatalf("ctr = %q", v)
+	}
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("old not deleted")
+	}
+}
+
+func TestApplyBatchOnFallback(t *testing.T) {
+	s := New(0)
+	var c Cache = plainCache{s}
+	res := ApplyBatchOn(c, []BatchOp{
+		{Kind: BatchSet, Key: "k", Value: []byte("v")},
+		{Kind: BatchDelete, Key: "k"},
+	})
+	if !res[0].Found || !res[1].Found {
+		t.Fatalf("results = %+v", res)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("k survived")
+	}
+}
+
+// plainCache hides the Store's batch entry point: embedding the interface
+// (not *Store) keeps ApplyBatch out of the wrapper's method set, so
+// ApplyBatchOn must take the per-op fallback path.
+type plainCache struct{ Cache }
+
+func TestLatencyCacheBatchChargesOneRoundTrip(t *testing.T) {
+	s := New(0)
+	sleeper := &latency.CountingSleeper{}
+	lc := WithLatency(s, time.Millisecond, sleeper)
+	ops := make([]BatchOp, 50)
+	for i := range ops {
+		ops[i] = BatchOp{Kind: BatchSet, Key: "k", Value: []byte("v")}
+	}
+	lc.ApplyBatch(ops)
+	if got := sleeper.Calls(); got != 1 {
+		t.Fatalf("round trips charged = %d, want 1 for the whole batch", got)
+	}
+}

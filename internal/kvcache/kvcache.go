@@ -313,6 +313,10 @@ func (s *Store) Cas(key string, value []byte, ttl time.Duration, cas uint64) Cas
 func (s *Store) Delete(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.deleteLocked(key)
+}
+
+func (s *Store) deleteLocked(key string) bool {
 	e, ok := s.items[key]
 	if !ok {
 		return false
@@ -329,6 +333,10 @@ func (s *Store) Delete(key string) bool {
 func (s *Store) Incr(key string, delta int64) (int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.incrLocked(key, delta)
+}
+
+func (s *Store) incrLocked(key string, delta int64) (int64, bool) {
 	e, ok := s.get(key, true)
 	if !ok {
 		return 0, false

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cachegenie/internal/core"
+	"cachegenie/internal/invbus"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/latency"
 	"cachegenie/internal/orm"
@@ -26,6 +27,11 @@ type ExpOptions struct {
 	Seed social.SeedConfig
 	// Out receives progress lines (nil = silent).
 	Out io.Writer
+	// Async routes trigger cache maintenance through the invalidation bus
+	// for every stack the harness builds (Experiment 6 sweeps both settings
+	// itself and ignores this); BatchWindow tunes the bus coalescing window.
+	Async       bool
+	BatchWindow time.Duration
 }
 
 func (o ExpOptions) scale() int {
@@ -73,13 +79,15 @@ func (o ExpOptions) buildStack(mode Mode, cacheBytes int64, poolPages int) (*Sta
 		poolPages = expPoolPages
 	}
 	return BuildStack(StackConfig{
-		Mode:            mode,
-		Seed:            o.seed(),
-		RngSeed:         42,
-		LatencyScale:    o.scale(),
-		CacheBytes:      cacheBytes,
-		BufferPoolPages: poolPages,
-		DiskWidth:       2,
+		Mode:              mode,
+		Seed:              o.seed(),
+		RngSeed:           42,
+		LatencyScale:      o.scale(),
+		CacheBytes:        cacheBytes,
+		BufferPoolPages:   poolPages,
+		DiskWidth:         2,
+		AsyncInvalidation: o.Async,
+		BatchWindow:       o.BatchWindow,
 	})
 }
 
@@ -553,6 +561,55 @@ func Exp5(opt ExpOptions) ([]Exp5Result, error) {
 	return out, nil
 }
 
+// ---------- Experiment 6: sync vs async trigger propagation ----------
+
+// Exp6Point is one (mode, async) measurement. The experiment extends §5.3's
+// trigger-overhead result: the paper measures per-trigger connection setup
+// roughly doubling INSERT latency and proposes amortizing the trigger→cache
+// path as future work; the invalidation bus is that optimization, and this
+// sweep quantifies it under a write-heavy workload.
+type Exp6Point struct {
+	Mode         Mode
+	Async        bool
+	Throughput   float64
+	MeanWriteLat time.Duration // mean CreateBM page latency
+	P99WriteLat  time.Duration
+	Bus          invbus.Stats // zero-valued for sync points
+}
+
+// Exp6 compares synchronous per-op trigger→cache propagation against the
+// asynchronous batched invalidation bus at a write-heavy operating point.
+func Exp6(opt ExpOptions) ([]Exp6Point, error) {
+	var out []Exp6Point
+	for _, mode := range []Mode{ModeInvalidate, ModeUpdate} {
+		for _, async := range []bool{false, true} {
+			st, err := BuildStackForExp6(opt, mode, async)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := Run(st, opt.runCfg(15, 60, 2.0))
+			if err != nil {
+				return nil, err
+			}
+			p := Exp6Point{
+				Mode: mode, Async: async, Throughput: rep.Throughput,
+				MeanWriteLat: rep.ByPage[social.PageCreateBM].Mean,
+				P99WriteLat:  rep.ByPage[social.PageCreateBM].P99,
+			}
+			if st.Genie != nil {
+				p.Bus = st.Genie.BusStats()
+				st.Genie.Close()
+			}
+			out = append(out, p)
+			opt.logf("exp6  %-10s async=%-5v %9.1f pages/s  write mean=%v p99=%v  (batched %d ops into %d flushes, %d coalesced)",
+				mode, async, p.Throughput,
+				p.MeanWriteLat.Round(time.Microsecond), p.P99WriteLat.Round(time.Microsecond),
+				p.Bus.Applied, p.Bus.Flushes, p.Bus.Coalesced)
+		}
+	}
+	return out, nil
+}
+
 // ---------- §5.2 programmer effort ----------
 
 // EffortReport reproduces the paper's porting-effort accounting.
@@ -679,5 +736,20 @@ func BuildStackForBench(opt ExpOptions, mode Mode, reuseTriggerConns bool, cache
 		DiskWidth:               2,
 		CacheNodes:              cacheNodes,
 		ReuseTriggerConnections: reuseTriggerConns,
+	})
+}
+
+// BuildStackForExp6 exposes the invalidation-bus knobs to the benchmark
+// harness.
+func BuildStackForExp6(opt ExpOptions, mode Mode, async bool) (*Stack, error) {
+	return BuildStack(StackConfig{
+		Mode:              mode,
+		Seed:              opt.seed(),
+		RngSeed:           42,
+		LatencyScale:      opt.scale(),
+		BufferPoolPages:   expPoolPages,
+		DiskWidth:         2,
+		AsyncInvalidation: async,
+		BatchWindow:       opt.BatchWindow,
 	})
 }

@@ -91,6 +91,9 @@ func TestRunModeSmoke(t *testing.T) {
 }
 
 func TestExp5TriggerToggleWorks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full stack runs")
+	}
 	opt := tinyOpts()
 	res, err := Exp5(opt)
 	if err != nil {
@@ -107,6 +110,9 @@ func TestExp5TriggerToggleWorks(t *testing.T) {
 }
 
 func TestExp4EvictionsAppearAtSmallSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full stack runs")
+	}
 	opt := tinyOpts()
 	pts, err := Exp4(opt, []int64{8 << 10, 1 << 20})
 	if err != nil {
@@ -164,4 +170,52 @@ func TestBuildStackForBenchKnobs(t *testing.T) {
 	if err != nil || rep.Errors > 0 {
 		t.Fatalf("rep=%+v err=%v", rep, err)
 	}
+}
+
+func TestExp6AsyncInvalidationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full stack runs")
+	}
+	res, err := Exp6(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("points = %d, want 4", len(res))
+	}
+	for _, p := range res {
+		if p.Throughput <= 0 {
+			t.Fatalf("%+v", p)
+		}
+		if p.Async {
+			if p.Bus.Enqueued == 0 {
+				t.Fatalf("async point saw no bus traffic: %+v", p)
+			}
+			if p.Bus.Applied+p.Bus.Coalesced != p.Bus.Enqueued {
+				t.Fatalf("bus did not drain fully: %+v", p.Bus)
+			}
+		} else if p.Bus.Enqueued != 0 {
+			t.Fatalf("sync point reports bus traffic: %+v", p)
+		}
+	}
+}
+
+func TestAsyncStackRunsCleanly(t *testing.T) {
+	opt := tinyOpts()
+	st, err := BuildStackForExp6(opt, ModeUpdate, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(st, RunConfig{Clients: 3, Sessions: 3, PagesPerSession: 6, WritePct: 40, ZipfA: 2.0, WarmupSessions: 3, RngSeed: 17})
+	if err != nil || rep.Errors > 0 {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	bs := st.Genie.BusStats()
+	if bs.Enqueued == 0 || bs.Applied+bs.Coalesced != bs.Enqueued {
+		t.Fatalf("bus stats = %+v", bs)
+	}
+	if rep.ByPage[social.PageCreateBM].P99 < rep.ByPage[social.PageCreateBM].P50 {
+		t.Fatalf("percentiles inverted: %+v", rep.ByPage[social.PageCreateBM])
+	}
+	st.Genie.Close()
 }

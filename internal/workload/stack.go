@@ -57,6 +57,12 @@ type StackConfig struct {
 	// ReuseTriggerConnections enables the paper's proposed trigger
 	// connection reuse optimization (ablation).
 	ReuseTriggerConnections bool
+	// AsyncInvalidation routes trigger cache maintenance through the
+	// asynchronous batching invalidation bus (internal/invbus) instead of
+	// synchronous per-op round trips; BatchWindow tunes its coalescing
+	// window (0 = bus default).
+	AsyncInvalidation bool
+	BatchWindow       time.Duration
 	// Sleeper overrides time passage (tests use CountingSleeper).
 	Sleeper latency.Sleeper
 }
@@ -144,6 +150,8 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 			Cache:                   logical,
 			TriggerConnectCost:      model.CacheConnect,
 			ReuseTriggerConnections: cfg.ReuseTriggerConnections,
+			AsyncInvalidation:       cfg.AsyncInvalidation,
+			BatchWindow:             cfg.BatchWindow,
 			Sleeper:                 sleeper,
 		})
 		if err != nil {
