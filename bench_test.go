@@ -29,6 +29,16 @@ func benchOpts() workload.ExpOptions {
 	return workload.ExpOptions{Quick: true, LatencyScale: 50}
 }
 
+// shortPoints trims a sweep to its last point under -short: the CI bench
+// smoke runs every benchmark once so the harness can't bit-rot, it does not
+// redraw every curve. Full sweeps need a plain `go test -bench .`.
+func shortPoints[T any](xs []T) []T {
+	if testing.Short() && len(xs) > 1 {
+		return xs[len(xs)-1:]
+	}
+	return xs
+}
+
 // reportRun executes fn b.N times and reports the mean of the returned
 // throughput as pages/s.
 func reportThroughput(b *testing.B, fn func() (float64, error)) {
@@ -141,8 +151,8 @@ func BenchmarkMicroTriggerOverhead(b *testing.B) {
 // is the Fig 2b series.
 func BenchmarkExp1Throughput(b *testing.B) {
 	opt := benchOpts()
-	for _, mode := range []workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate} {
-		for _, clients := range workload.Exp1Clients(true) {
+	for _, mode := range shortPoints([]workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate}) {
+		for _, clients := range shortPoints(workload.Exp1Clients(true)) {
 			b.Run(fmt.Sprintf("%s/clients=%d", mode, clients), func(b *testing.B) {
 				var totalTP float64
 				var totalLat time.Duration
@@ -166,7 +176,7 @@ func BenchmarkExp1Throughput(b *testing.B) {
 // at the 15-client operating point for each system.
 func BenchmarkExp1PageLatency(b *testing.B) {
 	opt := benchOpts()
-	for _, mode := range []workload.Mode{workload.ModeUpdate, workload.ModeInvalidate, workload.ModeNoCache} {
+	for _, mode := range shortPoints([]workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate}) {
 		b.Run(mode.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rep, err := workload.RunMode(opt, mode, 15, 20, 2.0)
@@ -190,8 +200,8 @@ func BenchmarkExp1PageLatency(b *testing.B) {
 // gap grows with reads and closes again at 100%.
 func BenchmarkExp2WorkloadMix(b *testing.B) {
 	opt := benchOpts()
-	for _, mode := range []workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate} {
-		for _, readPct := range workload.Exp2ReadPcts(true) {
+	for _, mode := range shortPoints([]workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate}) {
+		for _, readPct := range shortPoints(workload.Exp2ReadPcts(true)) {
 			b.Run(fmt.Sprintf("%s/read=%d", mode, readPct), func(b *testing.B) {
 				reportThroughput(b, func() (float64, error) {
 					rep, err := workload.RunMode(opt, mode, 15, 100-readPct, 2.0)
@@ -213,8 +223,8 @@ func BenchmarkExp2WorkloadMix(b *testing.B) {
 // NoCache stays flat (it is CPU-bound on repeated computation either way).
 func BenchmarkExp3ZipfSkew(b *testing.B) {
 	opt := benchOpts()
-	for _, mode := range []workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate} {
-		for _, a := range workload.Exp3ZipfAs(true) {
+	for _, mode := range shortPoints([]workload.Mode{workload.ModeNoCache, workload.ModeInvalidate, workload.ModeUpdate}) {
+		for _, a := range shortPoints(workload.Exp3ZipfAs(true)) {
 			b.Run(fmt.Sprintf("%s/a=%.1f", mode, a), func(b *testing.B) {
 				reportThroughput(b, func() (float64, error) {
 					rep, err := workload.RunMode(opt, mode, 15, 20, a)
@@ -236,8 +246,8 @@ func BenchmarkExp3ZipfSkew(b *testing.B) {
 // beat NoCache even at the smallest size.
 func BenchmarkExp4CacheSize(b *testing.B) {
 	opt := benchOpts()
-	for _, mode := range []workload.Mode{workload.ModeInvalidate, workload.ModeUpdate} {
-		for _, size := range workload.Exp4CacheSizes(true) {
+	for _, mode := range shortPoints([]workload.Mode{workload.ModeInvalidate, workload.ModeUpdate}) {
+		for _, size := range shortPoints(workload.Exp4CacheSizes(true)) {
 			b.Run(fmt.Sprintf("%s/cache=%dKiB", mode, size>>10), func(b *testing.B) {
 				var totalTP, totalHit float64
 				for i := 0; i < b.N; i++ {
@@ -291,7 +301,7 @@ func BenchmarkExp4Colocated(b *testing.B) {
 // "ideal" system with triggers removed (paper: 22-28% overhead).
 func BenchmarkExp5TriggerOverhead(b *testing.B) {
 	opt := benchOpts()
-	for _, mode := range []workload.Mode{workload.ModeInvalidate, workload.ModeUpdate} {
+	for _, mode := range shortPoints([]workload.Mode{workload.ModeInvalidate, workload.ModeUpdate}) {
 		b.Run(mode.String(), func(b *testing.B) {
 			var with, ideal float64
 			for i := 0; i < b.N; i++ {
@@ -382,6 +392,63 @@ func BenchmarkInvBusPropagation(b *testing.B) {
 				b.ReportMetric(float64(st.Enqueued)/float64(st.Flushes), "ops/flush")
 			}
 		})
+	}
+}
+
+// ---------- Experiment 7: remote cache tier over real TCP ----------
+
+// BenchmarkExp7RemoteCluster drives the full social workload against real
+// cacheproto servers on loopback TCP (4-node consistent-hash ring, pooled
+// clients, parallel batch fan-out), sync and async-bus each, with the
+// in-process transport as the baseline. Expected shape: remote costs
+// throughput everywhere (each cache hop is a real syscall + TCP round
+// trip), and the async bus recovers most of the write-path loss — batching
+// matters more when round trips are real. The sweep is also written to
+// BENCH_exp7.json, which CI uploads as a workflow artifact.
+func BenchmarkExp7RemoteCluster(b *testing.B) {
+	opt := benchOpts()
+	var pts []workload.Exp7Point
+	for _, transport := range []workload.CacheTransport{workload.TransportInProcess, workload.TransportRemote} {
+		for _, async := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/async=%v", transport, async), func(b *testing.B) {
+				var tp, p99 float64
+				var last workload.Exp7Point
+				for i := 0; i < b.N; i++ {
+					st, err := workload.BuildStackForExp7(opt, workload.ModeUpdate, transport, async)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rep, err := workload.Run(st, workload.RunConfig{
+						Clients: 15, Sessions: 3, PagesPerSession: 8, WritePct: 60,
+						ZipfA: 2.0, WarmupSessions: 20, RngSeed: 3,
+					})
+					if err != nil {
+						st.Close()
+						b.Fatal(err)
+					}
+					tp += rep.Throughput
+					p99 += float64(rep.ByPage[social.PageCreateBM].P99.Microseconds()) / 1000
+					last = workload.Exp7Point{
+						Transport: transport, Async: async, Throughput: rep.Throughput,
+						MeanWriteLat: rep.ByPage[social.PageCreateBM].Mean,
+						P99WriteLat:  rep.ByPage[social.PageCreateBM].P99,
+					}
+					if st.Genie != nil {
+						last.Bus = st.Genie.InvStats()
+					}
+					st.Close()
+				}
+				b.ReportMetric(tp/float64(b.N), "pages/s")
+				b.ReportMetric(p99/float64(b.N), "write-p99-ms")
+				b.ReportMetric(0, "ns/op")
+				pts = append(pts, last)
+			})
+		}
+	}
+	if len(pts) == 4 {
+		if err := workload.WriteExp7JSON("BENCH_exp7.json", pts); err != nil {
+			b.Logf("BENCH_exp7.json not written: %v", err)
+		}
 	}
 }
 

@@ -10,8 +10,8 @@
 //     B+tree indexes, a buffer pool over a simulated disk, transactions, and
 //     row-level AFTER triggers — the stack's PostgreSQL;
 //   - the cache (kvcache): a memcached-semantics LRU store with CAS, plus a
-//     TCP text protocol (cacheproto) and a consistent-hash cluster client
-//     (cluster);
+//     TCP text protocol with a connection-pooled client (cacheproto) and a
+//     consistent-hash cluster client with parallel batch fan-out (cluster);
 //   - the ORM (orm): Django-flavoured models and QuerySets with the read
 //     interception hook;
 //   - the middleware itself (core): cache classes — FeatureQuery,
@@ -175,7 +175,7 @@ type (
 func NewCache(capacityBytes int64) *CacheStore { return kvcache.New(capacityBytes) }
 
 // Invalidation bus API (internal/invbus). The bus is armed through
-// Config.AsyncInvalidation and inspected through Genie.BusStats; the types
+// Config.AsyncInvalidation and inspected through Genie.InvStats; the types
 // are re-exported for callers that drive a bus directly.
 type (
 	// InvBus is the asynchronous batching invalidation bus.
@@ -185,7 +185,7 @@ type (
 	// InvBusOp is one unit of cache maintenance published to a bus.
 	InvBusOp = invbus.Op
 	// InvBusStats counts bus activity (enqueued, applied, coalesced,
-	// flushes, max batch, max lag).
+	// flushes, max batch, max lag, queue-full stalls and stall time).
 	InvBusStats = invbus.Stats
 )
 

@@ -14,6 +14,7 @@
 //	genieload -experiment exp4b          # colocated-cache variant
 //	genieload -experiment exp5           # trigger overhead under load
 //	genieload -experiment exp6           # sync vs async invalidation bus
+//	genieload -experiment exp7           # remote cache tier over real TCP
 //	genieload -experiment micro          # §5.3 microbenchmarks
 //	genieload -experiment effort         # §5.2 programmer effort
 //	genieload -experiment ablation       # template-invalidation baseline
@@ -21,6 +22,14 @@
 // The -async flag routes trigger cache maintenance through the batching
 // invalidation bus (internal/invbus) in every experiment, and -batch-window
 // tunes its coalescing window; exp6 sweeps sync vs async itself.
+//
+// The -transport flag selects how every stack reaches its cache: inprocess
+// (default; the injected-latency simulation) or remote (real cacheproto
+// servers on loopback TCP behind pooled clients). exp7 sweeps both itself
+// and writes its series to BENCH_exp7.json. With -transport remote,
+// -cache-addrs points at externally launched geniecache nodes
+// (cmd/geniecache -nodes N prints a ready-made list) instead of
+// self-launched loopback ones.
 package main
 
 import (
@@ -28,22 +37,38 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"cachegenie/internal/workload"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, micro, effort, ablation)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, micro, effort, ablation)")
 	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	async := flag.Bool("async", false, "route trigger cache maintenance through the async invalidation bus")
 	batchWindow := flag.Duration("batch-window", 0, "invalidation bus coalescing window (0 = bus default)")
+	transportFlag := flag.String("transport", "inprocess", "cache transport: inprocess or remote (real TCP cacheproto nodes)")
+	cacheAddrs := flag.String("cache-addrs", "", "comma-separated geniecache addresses for -transport remote (empty = launch loopback nodes)")
 	flag.Parse()
 
+	transport, err := workload.ParseTransport(*transportFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var addrs []string
+	if *cacheAddrs != "" {
+		for _, a := range strings.Split(*cacheAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
 	opt := workload.ExpOptions{
 		LatencyScale: *scale, Quick: *quick, Out: os.Stdout,
 		Async: *async, BatchWindow: *batchWindow,
+		Transport: transport, CacheAddrs: addrs,
 	}
 	run := func(name string, fn func() error) {
 		fmt.Printf("\n== %s ==\n", name)
@@ -146,6 +171,20 @@ func main() {
 		run("Experiment 6: sync vs async trigger propagation (invalidation bus)", func() error {
 			_, err := workload.Exp6(opt)
 			return err
+		})
+	}
+	if all || *experiment == "exp7" {
+		matched = true
+		run("Experiment 7: remote cache tier (real mop/TCP nodes, pooled clients)", func() error {
+			pts, err := workload.Exp7(opt)
+			if err != nil {
+				return err
+			}
+			if err := workload.WriteExp7JSON("BENCH_exp7.json", pts); err != nil {
+				return err
+			}
+			fmt.Println("series written to BENCH_exp7.json")
+			return nil
 		})
 	}
 	if all || *experiment == "ablation" {

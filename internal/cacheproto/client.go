@@ -144,56 +144,95 @@ func (c *Client) Gets(key string) ([]byte, uint64, bool) {
 	return v, cas, ok
 }
 
+// set is Set with the connection error exposed (for the Pool).
+func (c *Client) set(key string, value []byte, ttl time.Duration) error {
+	_, err := c.roundTrip(fmt.Sprintf("set %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
+	return err
+}
+
 // Set implements kvcache.Cache.
 func (c *Client) Set(key string, value []byte, ttl time.Duration) {
-	_, _ = c.roundTrip(fmt.Sprintf("set %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
+	_ = c.set(key, value, ttl)
+}
+
+// add is Add with the connection error exposed (for the Pool).
+func (c *Client) add(key string, value []byte, ttl time.Duration) (bool, error) {
+	line, err := c.roundTrip(fmt.Sprintf("add %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
+	return err == nil && line == "STORED", err
 }
 
 // Add implements kvcache.Cache.
 func (c *Client) Add(key string, value []byte, ttl time.Duration) bool {
-	line, err := c.roundTrip(fmt.Sprintf("add %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
-	return err == nil && line == "STORED"
+	ok, _ := c.add(key, value, ttl)
+	return ok
+}
+
+// cas is Cas with the connection error exposed (for the Pool).
+func (c *Client) cas(key string, value []byte, ttl time.Duration, cas uint64) (kvcache.CasResult, error) {
+	line, err := c.roundTrip(
+		fmt.Sprintf("cas %s 0 %d %d %d", key, ttlSeconds(ttl), len(value), cas), value)
+	if err != nil {
+		return kvcache.CasNotFound, err
+	}
+	switch line {
+	case "STORED":
+		return kvcache.CasStored, nil
+	case "EXISTS":
+		return kvcache.CasConflict, nil
+	default:
+		return kvcache.CasNotFound, nil
+	}
 }
 
 // Cas implements kvcache.Cache.
 func (c *Client) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
-	line, err := c.roundTrip(
-		fmt.Sprintf("cas %s 0 %d %d %d", key, ttlSeconds(ttl), len(value), cas), value)
-	if err != nil {
-		return kvcache.CasNotFound
-	}
-	switch line {
-	case "STORED":
-		return kvcache.CasStored
-	case "EXISTS":
-		return kvcache.CasConflict
-	default:
-		return kvcache.CasNotFound
-	}
+	r, _ := c.cas(key, value, ttl, cas)
+	return r
+}
+
+// del is Delete with the connection error exposed (for the Pool).
+func (c *Client) del(key string) (bool, error) {
+	line, err := c.roundTrip("delete "+key, nil)
+	return err == nil && line == "DELETED", err
 }
 
 // Delete implements kvcache.Cache.
 func (c *Client) Delete(key string) bool {
-	line, err := c.roundTrip("delete "+key, nil)
-	return err == nil && line == "DELETED"
+	ok, _ := c.del(key)
+	return ok
+}
+
+// incr is Incr with the connection error exposed (for the Pool).
+func (c *Client) incr(key string, delta int64) (int64, bool, error) {
+	line, err := c.roundTrip(fmt.Sprintf("incr %s %d", key, delta), nil)
+	if err != nil {
+		return 0, false, err
+	}
+	if line == "NOT_FOUND" || strings.HasPrefix(line, "CLIENT_ERROR") {
+		return 0, false, nil
+	}
+	n, perr := strconv.ParseInt(line, 10, 64)
+	if perr != nil {
+		return 0, false, nil
+	}
+	return n, true, nil
 }
 
 // Incr implements kvcache.Cache.
 func (c *Client) Incr(key string, delta int64) (int64, bool) {
-	line, err := c.roundTrip(fmt.Sprintf("incr %s %d", key, delta), nil)
-	if err != nil || line == "NOT_FOUND" || strings.HasPrefix(line, "CLIENT_ERROR") {
-		return 0, false
-	}
-	n, err := strconv.ParseInt(line, 10, 64)
-	if err != nil {
-		return 0, false
-	}
-	return n, true
+	n, ok, _ := c.incr(key, delta)
+	return n, ok
+}
+
+// flushAll is FlushAll with the connection error exposed (for the Pool).
+func (c *Client) flushAll() error {
+	_, err := c.roundTrip("flush_all", nil)
+	return err
 }
 
 // FlushAll implements kvcache.Cache.
 func (c *Client) FlushAll() {
-	_, _ = c.roundTrip("flush_all", nil)
+	_ = c.flushAll()
 }
 
 var _ kvcache.BatchApplier = (*Client)(nil)
@@ -204,9 +243,16 @@ var _ kvcache.BatchApplier = (*Client)(nil)
 // one per op. Network errors surface as zero-valued results (not-found /
 // not-stored), mirroring the per-op methods' degraded behaviour.
 func (c *Client) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
+	out, _ := c.applyBatch(ops)
+	return out
+}
+
+// applyBatch is ApplyBatch with the connection error exposed, so the Pool
+// can discard a conn whose mop exchange broke mid-stream.
+func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error) {
 	out := make([]kvcache.BatchResult, len(ops))
 	if len(ops) == 0 {
-		return out
+		return out, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -224,12 +270,12 @@ func (c *Client) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 		}
 	}
 	if err := c.w.Flush(); err != nil {
-		return out
+		return out, err
 	}
 	for i := range ops {
 		line, err := c.r.ReadString('\n')
 		if err != nil {
-			return out
+			return out, err
 		}
 		line = strings.TrimRight(line, "\r\n")
 		switch ops[i].Kind {
@@ -244,10 +290,14 @@ func (c *Client) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 		}
 	}
 	// Trailing END frames the batch response.
-	if line, err := c.r.ReadString('\n'); err != nil || strings.TrimRight(line, "\r\n") != "END" {
-		return out
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return out, err
 	}
-	return out
+	if strings.TrimRight(line, "\r\n") != "END" {
+		return out, fmt.Errorf("cacheproto: mop response unframed: %q", line)
+	}
+	return out, nil
 }
 
 // ServerStats fetches the server's counters.

@@ -1,0 +1,262 @@
+package cacheproto
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// DefaultPoolIdle is the idle-connection bound a Pool uses when none is
+// given: enough for the workload driver's default client counts to run
+// without serializing, small enough that an idle stack holds only a handful
+// of sockets per node.
+const DefaultPoolIdle = 8
+
+// Pool is a connection-pooled cacheproto client for one cache server. It
+// implements kvcache.Cache and kvcache.BatchApplier like Client, but where a
+// single Client serializes every operation on one TCP connection, a Pool
+// checks a connection out per operation — concurrent callers (workload
+// clients, trigger firings, parallel ring fan-out, invalidation-bus workers)
+// proceed on separate connections and only contend on the checkout mutex.
+//
+// Connections are created lazily, one Dial per checkout miss, and at most
+// maxIdle of them are parked for reuse when returned; extras are closed. A
+// connection that sees any error mid-operation is discarded instead of being
+// returned, so one broken socket never poisons later operations.
+//
+// Batches still pipeline: ApplyBatch checks out one connection and runs the
+// whole mop exchange on it, so a flush from the invalidation bus costs a
+// single round trip regardless of pool size.
+type Pool struct {
+	addr    string
+	maxIdle int
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+
+	dials    atomic.Int64
+	reuses   atomic.Int64
+	discards atomic.Int64
+}
+
+var (
+	_ kvcache.Cache        = (*Pool)(nil)
+	_ kvcache.BatchApplier = (*Pool)(nil)
+)
+
+// NewPool creates a pool of connections to the cache server at addr.
+// maxIdle bounds parked connections (<= 0 picks DefaultPoolIdle). No
+// connection is opened until the first operation needs one.
+func NewPool(addr string, maxIdle int) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = DefaultPoolIdle
+	}
+	return &Pool{addr: addr, maxIdle: maxIdle}
+}
+
+// Addr returns the server address this pool connects to.
+func (p *Pool) Addr() string { return p.addr }
+
+// PoolStats counts pool activity.
+type PoolStats struct {
+	Dials    int64 // connections opened
+	Reuses   int64 // checkouts served from the idle list
+	Discards int64 // connections dropped after an error
+	Idle     int   // currently parked connections
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	return PoolStats{
+		Dials:    p.dials.Load(),
+		Reuses:   p.reuses.Load(),
+		Discards: p.discards.Load(),
+		Idle:     idle,
+	}
+}
+
+// Close closes all idle connections and marks the pool closed. In-flight
+// operations finish on their checked-out connections (which are then closed
+// rather than parked); later operations fail to check out and degrade to
+// misses, mirroring Client's behaviour against a dead server.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	var err error
+	for _, c := range idle {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// get checks a connection out: newest idle one first, else a fresh dial.
+func (p *Pool) get() (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("cacheproto: pool for %s is closed", p.addr)
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		p.reuses.Add(1)
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	p.dials.Add(1)
+	return c, nil
+}
+
+// put returns a connection after an operation. A connection that errored is
+// closed and dropped — its protocol stream may be unframed; parking it would
+// corrupt the next operation. Healthy connections park up to maxIdle.
+func (p *Pool) put(c *Client, opErr error) {
+	if opErr != nil {
+		p.discards.Add(1)
+		_ = c.conn.Close()
+		return
+	}
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, c)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	_ = c.Close()
+}
+
+// Get implements kvcache.Cache. Checkout or network errors surface as
+// misses; callers fall back to the database, the correct degraded behaviour.
+func (p *Pool) Get(key string) ([]byte, bool) {
+	c, err := p.get()
+	if err != nil {
+		return nil, false
+	}
+	v, _, ok, err := c.fetch("get", key)
+	p.put(c, err)
+	if err != nil {
+		return nil, false
+	}
+	return v, ok
+}
+
+// Gets implements kvcache.Cache.
+func (p *Pool) Gets(key string) ([]byte, uint64, bool) {
+	c, err := p.get()
+	if err != nil {
+		return nil, 0, false
+	}
+	v, cas, ok, err := c.fetch("gets", key)
+	p.put(c, err)
+	if err != nil {
+		return nil, 0, false
+	}
+	return v, cas, ok
+}
+
+// Set implements kvcache.Cache.
+func (p *Pool) Set(key string, value []byte, ttl time.Duration) {
+	c, err := p.get()
+	if err != nil {
+		return
+	}
+	p.put(c, c.set(key, value, ttl))
+}
+
+// Add implements kvcache.Cache.
+func (p *Pool) Add(key string, value []byte, ttl time.Duration) bool {
+	c, err := p.get()
+	if err != nil {
+		return false
+	}
+	ok, err := c.add(key, value, ttl)
+	p.put(c, err)
+	return ok
+}
+
+// Cas implements kvcache.Cache.
+func (p *Pool) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
+	c, err := p.get()
+	if err != nil {
+		return kvcache.CasNotFound
+	}
+	r, err := c.cas(key, value, ttl, cas)
+	p.put(c, err)
+	return r
+}
+
+// Delete implements kvcache.Cache.
+func (p *Pool) Delete(key string) bool {
+	c, err := p.get()
+	if err != nil {
+		return false
+	}
+	ok, err := c.del(key)
+	p.put(c, err)
+	return ok
+}
+
+// Incr implements kvcache.Cache.
+func (p *Pool) Incr(key string, delta int64) (int64, bool) {
+	c, err := p.get()
+	if err != nil {
+		return 0, false
+	}
+	n, ok, err := c.incr(key, delta)
+	p.put(c, err)
+	return n, ok
+}
+
+// FlushAll implements kvcache.Cache.
+func (p *Pool) FlushAll() {
+	c, err := p.get()
+	if err != nil {
+		return
+	}
+	p.put(c, c.flushAll())
+}
+
+// ApplyBatch implements kvcache.BatchApplier: the whole batch runs as one
+// pipelined mop exchange on a single checked-out connection, so it costs one
+// round trip while other operations proceed on other connections.
+func (p *Pool) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	c, err := p.get()
+	if err != nil {
+		return make([]kvcache.BatchResult, len(ops))
+	}
+	res, err := c.applyBatch(ops)
+	p.put(c, err)
+	return res
+}
+
+// ServerStats fetches the server's counters over a pooled connection.
+func (p *Pool) ServerStats() (map[string]int64, error) {
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.ServerStats()
+	p.put(c, err)
+	return st, err
+}

@@ -1,0 +1,219 @@
+package cacheproto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cachegenie/internal/kvcache"
+)
+
+func newPoolPair(t *testing.T, maxIdle int) (*kvcache.Store, *Pool) {
+	t.Helper()
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	pool := NewPool(addr, maxIdle)
+	t.Cleanup(func() { _ = pool.Close() })
+	return store, pool
+}
+
+func TestPoolRoundTripAllOps(t *testing.T) {
+	store, pool := newPoolPair(t, 2)
+	pool.Set("k", []byte("v1"), 0)
+	if v, ok := pool.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if pool.Add("k", []byte("nope"), 0) {
+		t.Fatal("Add over existing key succeeded")
+	}
+	v, tok, ok := pool.Gets("k")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Gets = %q, %v", v, ok)
+	}
+	if r := pool.Cas("k", []byte("v2"), 0, tok); r != kvcache.CasStored {
+		t.Fatalf("Cas = %v", r)
+	}
+	pool.Set("n", []byte("10"), 0)
+	if n, ok := pool.Incr("n", 7); !ok || n != 17 {
+		t.Fatalf("Incr = %d, %v", n, ok)
+	}
+	if !pool.Delete("n") {
+		t.Fatal("Delete = false")
+	}
+	pool.FlushAll()
+	if store.Len() != 0 {
+		t.Fatalf("store has %d items after FlushAll", store.Len())
+	}
+	if _, err := pool.ServerStats(); err != nil {
+		t.Fatalf("ServerStats: %v", err)
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	_, pool := newPoolPair(t, 4)
+	for i := 0; i < 50; i++ {
+		pool.Set(fmt.Sprintf("k%d", i), []byte("v"), 0)
+	}
+	st := pool.Stats()
+	// Sequential ops: the first checkout dials, every later one reuses.
+	if st.Dials != 1 {
+		t.Fatalf("dials = %d, want 1 (stats %+v)", st.Dials, st)
+	}
+	if st.Reuses < 40 {
+		t.Fatalf("reuses = %d, want >= 40", st.Reuses)
+	}
+	if st.Idle != 1 {
+		t.Fatalf("idle = %d, want 1", st.Idle)
+	}
+}
+
+func TestPoolBoundsIdleConns(t *testing.T) {
+	_, pool := newPoolPair(t, 2)
+	// 8 concurrent batches force up to 8 simultaneous checkouts; on return
+	// only maxIdle park.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i)
+				pool.Set(k, []byte("v"), 0)
+				if v, ok := pool.Get(k); !ok || string(v) != "v" {
+					t.Errorf("round trip %s failed: %q %v", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pool.Stats()
+	if st.Idle > 2 {
+		t.Fatalf("idle = %d, want <= 2 (stats %+v)", st.Idle, st)
+	}
+	if st.Dials < 1 || st.Discards != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestPoolApplyBatchPipelined(t *testing.T) {
+	store, pool := newPoolPair(t, 2)
+	store.Set("old", []byte("x"), 0)
+	store.Set("ctr", []byte("9"), 0)
+	ops := []kvcache.BatchOp{
+		{Kind: kvcache.BatchSet, Key: "a", Value: []byte("va")},
+		{Kind: kvcache.BatchIncr, Key: "ctr", Delta: 1},
+		{Kind: kvcache.BatchDelete, Key: "old"},
+	}
+	res := pool.ApplyBatch(ops)
+	if !res[0].Found || !res[1].Found || res[1].Value != 10 || !res[2].Found {
+		t.Fatalf("batch results = %+v", res)
+	}
+	// The connection stays framed and parks for reuse.
+	if v, ok := pool.Get("a"); !ok || string(v) != "va" {
+		t.Fatalf("Get after batch = %q, %v", v, ok)
+	}
+	if st := pool.Stats(); st.Dials != 1 {
+		t.Fatalf("dials = %d, want 1", st.Dials)
+	}
+	if res := pool.ApplyBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+func TestPoolDiscardsBrokenConns(t *testing.T) {
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(addr, 4)
+	defer pool.Close()
+	pool.Set("k", []byte("v"), 0)
+	// Kill the server: the parked conn is now dead.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pool.Get("k"); ok {
+		t.Fatal("Get succeeded against a dead server")
+	}
+	st := pool.Stats()
+	if st.Discards == 0 {
+		t.Fatalf("dead conn not discarded: %+v", st)
+	}
+	if st.Idle != 0 {
+		t.Fatalf("dead conn parked: %+v", st)
+	}
+
+	// A replacement server on the same address heals the pool: fresh dials,
+	// no poisoned state left over.
+	store2 := kvcache.New(0)
+	srv2 := NewServer(store2)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	pool.Set("k2", []byte("v2"), 0)
+	if v, ok := pool.Get("k2"); !ok || string(v) != "v2" {
+		t.Fatalf("pool did not recover: %q, %v", v, ok)
+	}
+}
+
+func TestPoolCloseDegradesToMisses(t *testing.T) {
+	_, pool := newPoolPair(t, 2)
+	pool.Set("k", []byte("v"), 0)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pool.Get("k"); ok {
+		t.Fatal("Get succeeded on a closed pool")
+	}
+	pool.Set("k2", []byte("v"), 0) // must not panic
+	if res := pool.ApplyBatch([]kvcache.BatchOp{{Kind: kvcache.BatchDelete, Key: "k"}}); res[0].Found {
+		t.Fatal("batch op reported success on a closed pool")
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestPoolConcurrentMixedOps(t *testing.T) {
+	store, pool := newPoolPair(t, 4)
+	store.Set("ctr", []byte("0"), 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch i % 4 {
+				case 0:
+					pool.Set(fmt.Sprintf("g%d-%d", g, i), []byte("v"), 0)
+				case 1:
+					pool.Get(fmt.Sprintf("g%d-%d", g, i-1))
+				case 2:
+					pool.Incr("ctr", 1)
+				default:
+					pool.ApplyBatch([]kvcache.BatchOp{
+						{Kind: kvcache.BatchSet, Key: fmt.Sprintf("b%d-%d", g, i), Value: []byte("bv")},
+						{Kind: kvcache.BatchDelete, Key: fmt.Sprintf("g%d-%d", g, i-3)},
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Each goroutine hits the incr arm for i = 2, 6, ..., 26: 7 times.
+	if n, ok := store.Get("ctr"); !ok || string(n) != "56" {
+		t.Fatalf("ctr = %s, %v, want 56 (8 goroutines x 7 incrs)", n, ok)
+	}
+	if st := pool.Stats(); st.Discards != 0 {
+		t.Fatalf("healthy run discarded conns: %+v", st)
+	}
+}

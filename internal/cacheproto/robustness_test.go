@@ -1,0 +1,248 @@
+package cacheproto
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// rawServer starts a server and returns its address plus a dialer for raw
+// protocol conversations.
+func rawServer(t *testing.T) (string, *kvcache.Store) {
+	t.Helper()
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return addr, store
+}
+
+func rawDial(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return conn, bufio.NewReader(conn)
+}
+
+// TestServerMalformedInput feeds the server protocol garbage and verifies
+// each case errors without killing the connection's framing (where
+// recoverable) or the accept loop (always): after every case a fresh,
+// well-formed client still gets service.
+func TestServerMalformedInput(t *testing.T) {
+	addr, _ := rawServer(t)
+	cases := []struct {
+		name string
+		send string
+		// wantPrefix is matched against the first response line. Empty
+		// means the server may simply drop the connection (e.g. a
+		// truncated stream has no recoverable framing).
+		wantPrefix string
+		// followUp, when set, is sent on the same connection after the bad
+		// command to prove the stream stayed framed.
+		followUp       string
+		wantFollowUpOK bool
+	}{
+		{
+			name:       "bad opcode",
+			send:       "frobnicate key\r\n",
+			wantPrefix: "CLIENT_ERROR",
+			followUp:   "set ok1 0 0 2\r\nhi\r\n", wantFollowUpOK: true,
+		},
+		{
+			name:       "oversized value",
+			send:       fmt.Sprintf("set big 0 0 %d\r\n%s\r\n", maxValueBytes+1, strings.Repeat("x", maxValueBytes+1)),
+			wantPrefix: "CLIENT_ERROR",
+			followUp:   "set ok2 0 0 2\r\nhi\r\n", wantFollowUpOK: true,
+		},
+		{
+			name:       "non-numeric byte count",
+			send:       "set k 0 0 banana\r\n",
+			wantPrefix: "CLIENT_ERROR",
+		},
+		{
+			name:       "negative byte count",
+			send:       "set k 0 0 -5\r\n",
+			wantPrefix: "CLIENT_ERROR",
+		},
+		{
+			name:       "missing fields",
+			send:       "set k\r\n",
+			wantPrefix: "CLIENT_ERROR",
+		},
+		{
+			name:       "bad mop count",
+			send:       "mop banana\r\n",
+			wantPrefix: "CLIENT_ERROR",
+		},
+		{
+			name:       "absurd mop count",
+			send:       fmt.Sprintf("mop %d\r\n", maxMopOps+1),
+			wantPrefix: "CLIENT_ERROR",
+		},
+		{
+			name:       "forbidden command inside mop",
+			send:       "mop 1\r\nflush_all\r\n",
+			wantPrefix: "CLIENT_ERROR",
+		},
+		{
+			name: "truncated mop frame",
+			// Announces 3 sub-commands, sends 1, then the stream ends. The
+			// server can only give up on this connection.
+			send: "mop 3\r\ndelete k\r\n",
+		},
+		{
+			name: "truncated set data",
+			send: "set k 0 0 100\r\nonly-ten-b",
+		},
+		{
+			name:       "bad data terminator",
+			send:       "set k 0 0 2\r\nhiXX",
+			wantPrefix: "CLIENT_ERROR",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, r := rawDial(t, addr)
+			if _, err := conn.Write([]byte(tc.send)); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if tc.wantPrefix != "" {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					t.Fatalf("no response to %q: %v", tc.send, err)
+				}
+				if !strings.HasPrefix(line, tc.wantPrefix) {
+					t.Fatalf("response %q, want prefix %q", line, tc.wantPrefix)
+				}
+			} else {
+				// Half-close our side so the server's pending read sees EOF
+				// rather than a stalled stream.
+				if tcp, ok := conn.(*net.TCPConn); ok {
+					_ = tcp.CloseWrite()
+				}
+				_, _ = r.ReadString('\n') // EOF or garbage; either is fine
+			}
+			if tc.followUp != "" {
+				if _, err := conn.Write([]byte(tc.followUp)); err != nil {
+					t.Fatalf("follow-up write: %v", err)
+				}
+				line, err := r.ReadString('\n')
+				if err != nil || strings.TrimRight(line, "\r\n") != "STORED" {
+					if tc.wantFollowUpOK {
+						t.Fatalf("connection lost framing: %q, %v", line, err)
+					}
+				}
+			}
+			// The accept loop must have survived: a fresh well-formed
+			// client still gets full service.
+			cli, err := Dial(addr)
+			if err != nil {
+				t.Fatalf("server stopped accepting after %q: %v", tc.name, err)
+			}
+			defer cli.Close()
+			cli.Set("probe", []byte("alive"), 0)
+			if v, ok := cli.Get("probe"); !ok || string(v) != "alive" {
+				t.Fatalf("server unhealthy after %q: %q, %v", tc.name, v, ok)
+			}
+		})
+	}
+}
+
+// TestServerOversizedValueKeepsFraming pins the drain behaviour down: the
+// refused value must not be stored, and the same connection keeps working.
+func TestServerOversizedValueKeepsFraming(t *testing.T) {
+	addr, store := rawServer(t)
+	conn, r := rawDial(t, addr)
+	big := strings.Repeat("v", maxValueBytes+1)
+	fmt.Fprintf(conn, "set big 0 0 %d\r\n%s\r\n", len(big), big)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "CLIENT_ERROR") {
+		t.Fatalf("oversized set: %q, %v", line, err)
+	}
+	if _, ok := store.Get("big"); ok {
+		t.Fatal("oversized value was stored")
+	}
+	fmt.Fprintf(conn, "set small 0 0 5\r\nhello\r\n")
+	line, err = r.ReadString('\n')
+	if err != nil || strings.TrimRight(line, "\r\n") != "STORED" {
+		t.Fatalf("framing lost after oversized refusal: %q, %v", line, err)
+	}
+	if v, ok := store.Get("small"); !ok || string(v) != "hello" {
+		t.Fatalf("small = %q, %v", v, ok)
+	}
+}
+
+// TestServerConcurrentClientStress hammers one server from many concurrent
+// connections mixing well-formed traffic with protocol garbage; the server
+// must neither wedge nor lose well-formed operations.
+func TestServerConcurrentClientStress(t *testing.T) {
+	addr, store := rawServer(t)
+	const goroutines = 12
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%4 == 3 {
+				// Saboteur: raw garbage connections.
+				for i := 0; i < iters/10; i++ {
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						t.Errorf("saboteur dial: %v", err)
+						return
+					}
+					fmt.Fprintf(conn, "mop 99\r\ndelete x\r\n")
+					_ = conn.Close()
+				}
+				return
+			}
+			cli, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i)
+				cli.Set(k, []byte("v"), 0)
+				if _, ok := cli.Get(k); !ok {
+					t.Errorf("lost %s", k)
+					return
+				}
+				cli.ApplyBatch([]kvcache.BatchOp{
+					{Kind: kvcache.BatchIncr, Key: "missing", Delta: 1},
+					{Kind: kvcache.BatchDelete, Key: k},
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 9 well-behaved goroutines each set+deleted their keys.
+	if store.Len() != 0 {
+		t.Fatalf("store has %d leftover items", store.Len())
+	}
+	// Server is still fully serviceable.
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.Set("final", []byte("ok"), 0)
+	if v, ok := cli.Get("final"); !ok || string(v) != "ok" {
+		t.Fatalf("final probe = %q, %v", v, ok)
+	}
+}

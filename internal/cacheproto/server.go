@@ -42,6 +42,16 @@ import (
 	"cachegenie/internal/kvcache"
 )
 
+// maxValueBytes bounds one value's size (memcached's classic 1 MB object
+// limit). An oversized set/add/cas is consumed from the stream and refused
+// with CLIENT_ERROR, keeping the connection framed and the server alive —
+// without the bound a hostile byte count would make the server allocate it.
+const maxValueBytes = 1 << 20
+
+// maxMopOps bounds one pipelined batch. The invalidation bus flushes far
+// smaller batches; anything larger is a protocol error, not a workload.
+const maxMopOps = 1 << 16
+
 // Server serves the text protocol for a Store.
 type Server struct {
 	store *kvcache.Store
@@ -194,6 +204,14 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		if err != nil || n < 0 {
 			return false, errors.New("bad byte count")
 		}
+		if n > maxValueBytes {
+			// Drain the announced data block so the stream stays framed,
+			// then refuse; the connection (and server) live on.
+			if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
+				return false, err
+			}
+			return false, fmt.Errorf("object too large (%d > %d bytes)", n, maxValueBytes)
+		}
 		data, err := s.readData(r, n)
 		if err != nil {
 			return false, err
@@ -256,6 +274,9 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		count, err := strconv.Atoi(fields[1])
 		if err != nil || count < 0 {
 			return false, errors.New("bad mop count")
+		}
+		if count > maxMopOps {
+			return false, fmt.Errorf("mop count %d exceeds limit %d", count, maxMopOps)
 		}
 		for i := 0; i < count; i++ {
 			line, err := r.ReadString('\n')

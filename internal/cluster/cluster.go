@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"time"
 
 	"cachegenie/internal/kvcache"
@@ -118,7 +119,11 @@ var _ kvcache.BatchApplier = (*Ring)(nil)
 
 // ApplyBatch implements kvcache.BatchApplier: one logical batch fans out as
 // one sub-batch per owning node, preserving the batch's relative op order
-// within each node and reassembling results in input order.
+// within each node and reassembling results in input order. The sub-batches
+// run concurrently, one goroutine per owning node, so a batch that spans the
+// ring costs the slowest node's round trip rather than the sum of all of
+// them — with remote nodes this is what keeps invalidation-bus flush latency
+// flat as the ring grows.
 func (r *Ring) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 	if len(ops) == 0 {
 		return nil
@@ -141,22 +146,36 @@ func (r *Ring) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 		byNode[n] = append(byNode[n], i)
 	}
 	out := make([]kvcache.BatchResult, len(ops))
+	var wg sync.WaitGroup
 	for n, idxs := range byNode {
-		sub := make([]kvcache.BatchOp, len(idxs))
-		for j, i := range idxs {
-			sub[j] = ops[i]
-		}
-		res := kvcache.ApplyBatchOn(r.nodes[n], sub)
-		for j, i := range idxs {
-			out[i] = res[j]
-		}
+		wg.Add(1)
+		go func(n int, idxs []int) {
+			defer wg.Done()
+			sub := make([]kvcache.BatchOp, len(idxs))
+			for j, i := range idxs {
+				sub[j] = ops[i]
+			}
+			res := kvcache.ApplyBatchOn(r.nodes[n], sub)
+			// idxs are disjoint across nodes, so writes into out don't race.
+			for j, i := range idxs {
+				out[i] = res[j]
+			}
+		}(n, idxs)
 	}
+	wg.Wait()
 	return out
 }
 
-// FlushAll implements kvcache.Cache; it flushes every node.
+// FlushAll implements kvcache.Cache; it flushes every node, concurrently for
+// the same reason ApplyBatch fans out: max-node rather than sum-of-node cost.
 func (r *Ring) FlushAll() {
+	var wg sync.WaitGroup
 	for _, n := range r.nodes {
-		n.FlushAll()
+		wg.Add(1)
+		go func(n kvcache.Cache) {
+			defer wg.Done()
+			n.FlushAll()
+		}(n)
 	}
+	wg.Wait()
 }

@@ -97,7 +97,7 @@ func TestAsyncUpdateInPlaceConvergesAfterFlush(t *testing.T) {
 	if st.TriggerUpdates < 1 {
 		t.Fatalf("trigger update never applied: %+v", st)
 	}
-	if bs := s.g.BusStats(); bs.Enqueued == 0 || bs.Applied+bs.Coalesced != bs.Enqueued {
+	if bs := s.g.InvStats(); bs.Enqueued == 0 || bs.Applied+bs.Coalesced != bs.Enqueued {
 		t.Fatalf("bus stats inconsistent: %+v", bs)
 	}
 }
@@ -156,7 +156,7 @@ func TestAsyncInvalidateStrategyDropsKeys(t *testing.T) {
 
 func TestAsyncDisabledHasNoBus(t *testing.T) {
 	s := newStack(t)
-	if bs := s.g.BusStats(); bs != (s.g.BusStats()) || bs.Enqueued != 0 {
+	if bs := s.g.InvStats(); bs != (s.g.InvStats()) || bs.Enqueued != 0 {
 		t.Fatalf("sync genie reports bus activity: %+v", bs)
 	}
 	// Flush/Close are harmless no-ops in sync mode.

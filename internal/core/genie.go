@@ -149,8 +149,10 @@ func (g *Genie) Close() {
 	}
 }
 
-// BusStats returns the invalidation bus's counters (zero in sync mode).
-func (g *Genie) BusStats() invbus.Stats {
+// InvStats returns the invalidation bus's counters (zero in sync mode),
+// including the backpressure series: QueueFullStalls and StallTime expose
+// how often — and for how long — writers blocked on full shard queues.
+func (g *Genie) InvStats() invbus.Stats {
 	if g.bus == nil {
 		return invbus.Stats{}
 	}

@@ -126,6 +126,13 @@ type Stats struct {
 	Flushes   int64         // batches flushed
 	MaxBatch  int64         // largest single flush (ops, pre-coalescing)
 	MaxLag    time.Duration // worst observed publish→apply delay
+	// QueueFullStalls counts Publish calls that found their shard queue full
+	// and had to block — the backpressure that MaxLag alone cannot show
+	// (a saturated bus can keep lag bounded precisely by stalling writers).
+	QueueFullStalls int64
+	// StallTime is the cumulative wall time Publish callers spent blocked on
+	// full shard queues.
+	StallTime time.Duration
 }
 
 // pendingOp is an Op in a shard queue; flushCh non-nil marks a drain
@@ -150,12 +157,14 @@ type Bus struct {
 	mu     sync.RWMutex
 	closed bool
 
-	enqueued  atomic.Int64
-	applied   atomic.Int64
-	coalesced atomic.Int64
-	flushes   atomic.Int64
-	maxBatch  atomic.Int64
-	maxLag    atomic.Int64
+	enqueued        atomic.Int64
+	applied         atomic.Int64
+	coalesced       atomic.Int64
+	flushes         atomic.Int64
+	maxBatch        atomic.Int64
+	maxLag          atomic.Int64
+	queueFullStalls atomic.Int64
+	stallNanos      atomic.Int64
 }
 
 // New creates a Bus and starts its shard workers (none in sync mode).
@@ -219,7 +228,17 @@ func (b *Bus) Publish(op Op) {
 		return
 	}
 	s := b.shardFor(op.Key)
-	s.ch <- pendingOp{Op: op, enq: time.Now()}
+	p := pendingOp{Op: op, enq: time.Now()}
+	select {
+	case s.ch <- p:
+	default:
+		// Shard queue full: block (backpressure) and account for the stall
+		// so saturation is visible beyond MaxLag.
+		b.queueFullStalls.Add(1)
+		start := time.Now()
+		s.ch <- p
+		b.stallNanos.Add(int64(time.Since(start)))
+	}
 	b.mu.RUnlock()
 }
 
@@ -288,12 +307,14 @@ func (b *Bus) Close() {
 // Stats returns a snapshot of counters.
 func (b *Bus) Stats() Stats {
 	return Stats{
-		Enqueued:  b.enqueued.Load(),
-		Applied:   b.applied.Load(),
-		Coalesced: b.coalesced.Load(),
-		Flushes:   b.flushes.Load(),
-		MaxBatch:  b.maxBatch.Load(),
-		MaxLag:    time.Duration(b.maxLag.Load()),
+		Enqueued:        b.enqueued.Load(),
+		Applied:         b.applied.Load(),
+		Coalesced:       b.coalesced.Load(),
+		Flushes:         b.flushes.Load(),
+		MaxBatch:        b.maxBatch.Load(),
+		MaxLag:          time.Duration(b.maxLag.Load()),
+		QueueFullStalls: b.queueFullStalls.Load(),
+		StallTime:       time.Duration(b.stallNanos.Load()),
 	}
 }
 

@@ -336,3 +336,48 @@ func TestConcurrentPublishersDrainFully(t *testing.T) {
 		t.Fatalf("applied %d + coalesced %d != enqueued %d", st.Applied, st.Coalesced, st.Enqueued)
 	}
 }
+
+func TestStatsCountQueueFullStalls(t *testing.T) {
+	store := kvcache.New(0)
+	bus, release := stallBus(t, store, 1)
+	defer bus.Close()
+
+	// Queue empty: this fill does not stall.
+	bus.Publish(Op{Kind: OpSet, Key: "a", Value: []byte("v")})
+	if st := bus.Stats(); st.QueueFullStalls != 0 || st.StallTime != 0 {
+		t.Fatalf("premature stall accounting: %+v", st)
+	}
+
+	unblocked := make(chan struct{})
+	go func() {
+		// Queue holds "a" and the worker is parked: this Publish must stall.
+		bus.Publish(Op{Kind: OpSet, Key: "b", Value: []byte("v")})
+		close(unblocked)
+	}()
+	// The stall counter increments before the publisher parks, so we can
+	// wait for the park deterministically.
+	deadline := time.Now().Add(2 * time.Second)
+	for bus.Stats().QueueFullStalls == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("publisher never stalled on the full queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled publish never completed")
+	}
+	bus.Flush()
+	st := bus.Stats()
+	if st.QueueFullStalls != 1 {
+		t.Fatalf("queue-full stalls = %d, want 1", st.QueueFullStalls)
+	}
+	if st.StallTime <= 0 {
+		t.Fatalf("stall time = %v, want > 0", st.StallTime)
+	}
+	if _, ok := store.Get("b"); !ok {
+		t.Fatal("stalled op lost")
+	}
+}

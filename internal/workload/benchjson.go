@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Exp7JSONPoint is the serialized form of one Exp7Point; durations flatten
+// to milliseconds so the artifact diffs meaningfully across CI runs.
+type Exp7JSONPoint struct {
+	Transport             string  `json:"transport"`
+	Async                 bool    `json:"async"`
+	ThroughputPagesPerSec float64 `json:"throughput_pages_per_sec"`
+	WriteMeanMs           float64 `json:"write_mean_ms"`
+	WriteP99Ms            float64 `json:"write_p99_ms"`
+	BusFlushes            int64   `json:"bus_flushes"`
+	BusApplied            int64   `json:"bus_applied"`
+	BusCoalesced          int64   `json:"bus_coalesced"`
+	BusQueueFullStalls    int64   `json:"bus_queue_full_stalls"`
+	BusStallMs            float64 `json:"bus_stall_ms"`
+}
+
+// Exp7JSON is the BENCH_exp7.json document.
+type Exp7JSON struct {
+	Experiment string          `json:"experiment"`
+	Points     []Exp7JSONPoint `json:"points"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// WriteExp7JSON records an Experiment 7 sweep as JSON at path (the CI bench
+// smoke uploads BENCH_*.json files as workflow artifacts).
+func WriteExp7JSON(path string, pts []Exp7Point) error {
+	doc := Exp7JSON{Experiment: "exp7-remote-cluster"}
+	for _, p := range pts {
+		doc.Points = append(doc.Points, Exp7JSONPoint{
+			Transport:             p.Transport.String(),
+			Async:                 p.Async,
+			ThroughputPagesPerSec: p.Throughput,
+			WriteMeanMs:           ms(p.MeanWriteLat),
+			WriteP99Ms:            ms(p.P99WriteLat),
+			BusFlushes:            p.Bus.Flushes,
+			BusApplied:            p.Bus.Applied,
+			BusCoalesced:          p.Bus.Coalesced,
+			BusQueueFullStalls:    p.Bus.QueueFullStalls,
+			BusStallMs:            ms(p.Bus.StallTime),
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

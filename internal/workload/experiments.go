@@ -32,6 +32,12 @@ type ExpOptions struct {
 	// itself and ignores this); BatchWindow tunes the bus coalescing window.
 	Async       bool
 	BatchWindow time.Duration
+	// Transport selects how every stack the harness builds reaches its
+	// cache (Experiment 7 sweeps both transports itself and ignores this).
+	Transport CacheTransport
+	// CacheAddrs points remote-transport stacks at externally launched
+	// geniecache nodes instead of self-launched loopback ones.
+	CacheAddrs []string
 }
 
 func (o ExpOptions) scale() int {
@@ -88,6 +94,8 @@ func (o ExpOptions) buildStack(mode Mode, cacheBytes int64, poolPages int) (*Sta
 		DiskWidth:         2,
 		AsyncInvalidation: o.Async,
 		BatchWindow:       o.BatchWindow,
+		Transport:         o.Transport,
+		CacheAddrs:        o.CacheAddrs,
 	})
 }
 
@@ -276,6 +284,7 @@ func Exp1(opt ExpOptions, clients []int) ([]Exp1Point, error) {
 				return nil, err
 			}
 			rep, err := Run(st, opt.runCfg(c, 20, 2.0))
+			st.Close()
 			if err != nil {
 				return nil, err
 			}
@@ -317,6 +326,7 @@ func Exp1PageTable(opt ExpOptions) ([]Exp1PageRow, error) {
 			return nil, err
 		}
 		rep, err := Run(st, opt.runCfg(15, 20, 2.0))
+		st.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -367,6 +377,7 @@ func Exp2(opt ExpOptions, readPcts []int) ([]Exp2Point, error) {
 				return nil, err
 			}
 			rep, err := Run(st, opt.runCfg(15, 100-rp, 2.0))
+			st.Close()
 			if err != nil {
 				return nil, err
 			}
@@ -407,6 +418,7 @@ func Exp3(opt ExpOptions, zipfAs []float64) ([]Exp3Point, error) {
 				return nil, err
 			}
 			rep, err := Run(st, opt.runCfg(15, 20, a))
+			st.Close()
 			if err != nil {
 				return nil, err
 			}
@@ -452,6 +464,7 @@ func Exp4(opt ExpOptions, sizes []int64) ([]Exp4Point, error) {
 			}
 			rep, err := Run(st, opt.runCfg(15, 20, 2.0))
 			if err != nil {
+				st.Close()
 				return nil, err
 			}
 			// Hit rate from the Genie's read path: the raw cache counters
@@ -462,12 +475,14 @@ func Exp4(opt ExpOptions, sizes []int64) ([]Exp4Point, error) {
 			if total := gs.Hits + gs.Misses; total > 0 {
 				hitRate = float64(gs.Hits) / float64(total)
 			}
+			evictions := st.CacheStats().Evictions
+			st.Close()
 			out = append(out, Exp4Point{
 				Mode: mode, CacheBytes: size, Throughput: rep.Throughput,
-				HitRate: hitRate, Evictions: st.CacheStats().Evictions,
+				HitRate: hitRate, Evictions: evictions,
 			})
 			opt.logf("exp4  %-10s cache=%-8d %9.1f pages/s  hit=%.2f evictions=%d",
-				mode, size, rep.Throughput, hitRate, st.CacheStats().Evictions)
+				mode, size, rep.Throughput, hitRate, evictions)
 		}
 	}
 	return out, nil
@@ -491,6 +506,7 @@ func Exp4Colocated(opt ExpOptions) ([]Exp4ColocatedResult, error) {
 			return nil, err
 		}
 		repSep, err := Run(sep, opt.runCfg(15, 20, 2.0))
+		sep.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -503,6 +519,7 @@ func Exp4Colocated(opt ExpOptions) ([]Exp4ColocatedResult, error) {
 			return nil, err
 		}
 		repColo, err := Run(colo, opt.runCfg(15, 20, 2.0))
+		colo.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -535,6 +552,7 @@ func Exp5(opt ExpOptions) ([]Exp5Result, error) {
 			return nil, err
 		}
 		repWith, err := Run(withSt, opt.runCfg(15, 20, 2.0))
+		withSt.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -547,6 +565,7 @@ func Exp5(opt ExpOptions) ([]Exp5Result, error) {
 		}
 		idealSt.DB.SetTriggersEnabled(false)
 		repIdeal, err := Run(idealSt, opt.runCfg(15, 20, 2.0))
+		idealSt.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -589,6 +608,7 @@ func Exp6(opt ExpOptions) ([]Exp6Point, error) {
 			}
 			rep, err := Run(st, opt.runCfg(15, 60, 2.0))
 			if err != nil {
+				st.Close()
 				return nil, err
 			}
 			p := Exp6Point{
@@ -597,14 +617,91 @@ func Exp6(opt ExpOptions) ([]Exp6Point, error) {
 				P99WriteLat:  rep.ByPage[social.PageCreateBM].P99,
 			}
 			if st.Genie != nil {
-				p.Bus = st.Genie.BusStats()
-				st.Genie.Close()
+				p.Bus = st.Genie.InvStats()
 			}
+			st.Close()
 			out = append(out, p)
-			opt.logf("exp6  %-10s async=%-5v %9.1f pages/s  write mean=%v p99=%v  (batched %d ops into %d flushes, %d coalesced)",
+			opt.logf("exp6  %-10s async=%-5v %9.1f pages/s  write mean=%v p99=%v  (batched %d ops into %d flushes, %d coalesced, %d stalls/%v stalled)",
 				mode, async, p.Throughput,
 				p.MeanWriteLat.Round(time.Microsecond), p.P99WriteLat.Round(time.Microsecond),
-				p.Bus.Applied, p.Bus.Flushes, p.Bus.Coalesced)
+				p.Bus.Applied, p.Bus.Flushes, p.Bus.Coalesced,
+				p.Bus.QueueFullStalls, p.Bus.StallTime.Round(time.Microsecond))
+		}
+	}
+	return out, nil
+}
+
+// ---------- Experiment 7: remote cache tier over real TCP ----------
+
+// Exp7Nodes is the ring size Experiment 7 deploys: enough nodes that batch
+// flushes regularly span several owners, exercising the parallel fan-out.
+const Exp7Nodes = 4
+
+// Exp7Point is one (transport, async) measurement over the full social
+// workload. The in-process points replicate Experiment 6's conditions; the
+// remote points run the identical workload against Exp7Nodes real
+// cacheproto servers on loopback TCP behind pooled clients — the first
+// measurement in this reproduction where the §5.3 trigger-propagation win
+// is taken over an actual network round trip rather than an injected one.
+type Exp7Point struct {
+	Transport    CacheTransport
+	Async        bool
+	Throughput   float64
+	MeanWriteLat time.Duration // mean CreateBM page latency
+	P99WriteLat  time.Duration
+	Bus          invbus.Stats // zero-valued for sync points
+}
+
+// BuildStackForExp7 assembles one Experiment 7 stack: ModeUpdate over an
+// Exp7Nodes-node ring reached through the given transport.
+func BuildStackForExp7(opt ExpOptions, mode Mode, transport CacheTransport, async bool) (*Stack, error) {
+	return BuildStack(StackConfig{
+		Mode:              mode,
+		Seed:              opt.seed(),
+		RngSeed:           42,
+		LatencyScale:      opt.scale(),
+		BufferPoolPages:   expPoolPages,
+		DiskWidth:         2,
+		CacheNodes:        Exp7Nodes,
+		Transport:         transport,
+		CacheAddrs:        opt.CacheAddrs,
+		AsyncInvalidation: async,
+		BatchWindow:       opt.BatchWindow,
+	})
+}
+
+// Exp7 drives the write-heavy workload over the in-process and remote-TCP
+// transports, sync and async-bus each. Expected shape: the remote transport
+// costs throughput across the board (every cache hop is now a real syscall
+// + TCP round trip), and the async bus claws most of it back on the write
+// path — batching is worth more when round trips are real.
+func Exp7(opt ExpOptions) ([]Exp7Point, error) {
+	var out []Exp7Point
+	for _, transport := range []CacheTransport{TransportInProcess, TransportRemote} {
+		for _, async := range []bool{false, true} {
+			st, err := BuildStackForExp7(opt, ModeUpdate, transport, async)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := Run(st, opt.runCfg(15, 60, 2.0))
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			p := Exp7Point{
+				Transport: transport, Async: async, Throughput: rep.Throughput,
+				MeanWriteLat: rep.ByPage[social.PageCreateBM].Mean,
+				P99WriteLat:  rep.ByPage[social.PageCreateBM].P99,
+			}
+			if st.Genie != nil {
+				p.Bus = st.Genie.InvStats()
+			}
+			st.Close()
+			out = append(out, p)
+			opt.logf("exp7  %-10s async=%-5v %9.1f pages/s  write mean=%v p99=%v  (%d flushes, %d stalls/%v stalled)",
+				p.Transport, async, p.Throughput,
+				p.MeanWriteLat.Round(time.Microsecond), p.P99WriteLat.Round(time.Microsecond),
+				p.Bus.Flushes, p.Bus.QueueFullStalls, p.Bus.StallTime.Round(time.Microsecond))
 		}
 	}
 	return out, nil
@@ -664,9 +761,11 @@ func AblationTemplateInvalidation(opt ExpOptions) (AblationTemplateResult, error
 	}
 	repG, err := Run(genieSt, opt.runCfg(8, 20, 2.0))
 	if err != nil {
+		genieSt.Close()
 		return res, err
 	}
 	gs := genieSt.Genie.Stats()
+	genieSt.Close()
 	if total := gs.Hits + gs.Misses; total > 0 {
 		res.GenieHitRate = float64(gs.Hits) / float64(total)
 	}
@@ -721,6 +820,7 @@ func RunMode(opt ExpOptions, mode Mode, clients, writePct int, zipfA float64) (R
 	if err != nil {
 		return Report{}, err
 	}
+	defer st.Close()
 	return Run(st, opt.runCfg(clients, writePct, zipfA))
 }
 
@@ -740,16 +840,9 @@ func BuildStackForBench(opt ExpOptions, mode Mode, reuseTriggerConns bool, cache
 }
 
 // BuildStackForExp6 exposes the invalidation-bus knobs to the benchmark
-// harness.
+// harness. Aside from the async override it builds the standard experiment
+// stack, so opt's transport settings apply as everywhere else.
 func BuildStackForExp6(opt ExpOptions, mode Mode, async bool) (*Stack, error) {
-	return BuildStack(StackConfig{
-		Mode:              mode,
-		Seed:              opt.seed(),
-		RngSeed:           42,
-		LatencyScale:      opt.scale(),
-		BufferPoolPages:   expPoolPages,
-		DiskWidth:         2,
-		AsyncInvalidation: async,
-		BatchWindow:       opt.BatchWindow,
-	})
+	opt.Async = async
+	return opt.buildStack(mode, 0, 0)
 }

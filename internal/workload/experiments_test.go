@@ -210,7 +210,7 @@ func TestAsyncStackRunsCleanly(t *testing.T) {
 	if err != nil || rep.Errors > 0 {
 		t.Fatalf("rep=%+v err=%v", rep, err)
 	}
-	bs := st.Genie.BusStats()
+	bs := st.Genie.InvStats()
 	if bs.Enqueued == 0 || bs.Applied+bs.Coalesced != bs.Enqueued {
 		t.Fatalf("bus stats = %+v", bs)
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"cachegenie/internal/cacheproto"
 	"cachegenie/internal/cluster"
 	"cachegenie/internal/core"
 	"cachegenie/internal/kvcache"
@@ -32,6 +33,41 @@ var modeNames = map[Mode]string{
 // String implements fmt.Stringer.
 func (m Mode) String() string { return modeNames[m] }
 
+// CacheTransport selects how the stack reaches its cache nodes.
+type CacheTransport int
+
+// Transports.
+const (
+	// TransportInProcess wires the cache nodes as in-process kvcache.Stores;
+	// network cost, if any, comes from the injected latency model. This is
+	// the simulation configuration every experiment ran before Experiment 7.
+	TransportInProcess CacheTransport = iota
+	// TransportRemote runs one real cacheproto.Server per cache node on
+	// loopback TCP (or connects to externally launched geniecache nodes via
+	// CacheAddrs) and reaches them through connection-pooled cacheproto
+	// clients, so every cache operation crosses a real mop/TCP round trip —
+	// the paper's actual deployment shape. Call Stack.Close when done.
+	TransportRemote
+)
+
+var transportNames = map[CacheTransport]string{
+	TransportInProcess: "in-process", TransportRemote: "remote-tcp",
+}
+
+// String implements fmt.Stringer.
+func (t CacheTransport) String() string { return transportNames[t] }
+
+// ParseTransport maps a flag value ("inprocess", "remote") to a transport.
+func ParseTransport(s string) (CacheTransport, error) {
+	switch s {
+	case "", "inprocess", "in-process", "local":
+		return TransportInProcess, nil
+	case "remote", "remote-tcp", "tcp":
+		return TransportRemote, nil
+	}
+	return 0, fmt.Errorf("workload: unknown transport %q (want inprocess or remote)", s)
+}
+
 // StackConfig assembles one experimental system.
 type StackConfig struct {
 	Mode Mode
@@ -39,8 +75,20 @@ type StackConfig struct {
 	// 512 MB on a 10 GB database; scale accordingly.
 	CacheBytes int64
 	// CacheNodes > 1 spreads the cache over a consistent-hash ring of
-	// in-process stores (each sized CacheBytes/CacheNodes).
+	// cache nodes (each sized CacheBytes/CacheNodes).
 	CacheNodes int
+	// Transport selects in-process stores (default) or real cacheproto
+	// servers reached over TCP through pooled clients.
+	Transport CacheTransport
+	// CacheAddrs, with TransportRemote, connects to already-running
+	// geniecache servers at these addresses instead of launching loopback
+	// ones (CacheNodes and CacheBytes are then the servers' concern). The
+	// stack flushes them during assembly so a previous run's entries cannot
+	// leak into this one.
+	CacheAddrs []string
+	// PoolIdleConns bounds idle pooled connections per remote node
+	// (0 = cacheproto.DefaultPoolIdle).
+	PoolIdleConns int
 	// LatencyScale enables the paper-calibrated injected latency model,
 	// divided by the given factor (0 disables; 1 = paper-absolute;
 	// 10 = default experiment scale).
@@ -76,9 +124,43 @@ type Stack struct {
 	Genie  *core.Genie // nil in NoCache mode
 	App    *social.App
 	// Stores are the raw cache nodes (for stats); Cache is the logical
-	// cache the Genie uses (possibly latency-wrapped and/or a ring).
+	// cache the Genie uses (possibly latency-wrapped and/or a ring). With
+	// TransportRemote the stores are the server-side ends of the loopback
+	// nodes (empty when CacheAddrs points at external servers — CacheStats
+	// then falls back to the wire-level stats command).
 	Stores []*kvcache.Store
 	Cache  kvcache.Cache
+	// Servers and Pools are populated by TransportRemote: the loopback
+	// cacheproto servers (nil with CacheAddrs) and the pooled client per
+	// node, in ring order.
+	Servers []*cacheproto.Server
+	Pools   []*cacheproto.Pool
+}
+
+// NodeAddrs returns the remote nodes' addresses in ring order (empty for
+// the in-process transport).
+func (s *Stack) NodeAddrs() []string {
+	addrs := make([]string, 0, len(s.Pools))
+	for _, p := range s.Pools {
+		addrs = append(addrs, p.Addr())
+	}
+	return addrs
+}
+
+// Close releases everything the stack owns goroutines or sockets for: the
+// Genie's invalidation bus, the client pools, and the loopback cache
+// servers. Safe for every transport and for repeated calls; in-process
+// stacks only drain the bus.
+func (s *Stack) Close() {
+	if s.Genie != nil {
+		s.Genie.Close()
+	}
+	for _, p := range s.Pools {
+		_ = p.Close()
+	}
+	for _, srv := range s.Servers {
+		_ = srv.Close()
+	}
 }
 
 // BuildStack assembles and seeds a system under test.
@@ -117,22 +199,53 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 	if cfg.CacheNodes > 1 && perNode > 0 {
 		perNode = cfg.CacheBytes / int64(cfg.CacheNodes)
 	}
-	for i := 0; i < cfg.CacheNodes; i++ {
-		st.Stores = append(st.Stores, kvcache.New(perNode))
+	var nodes []kvcache.Cache
+	switch {
+	case cfg.Transport == TransportRemote && len(cfg.CacheAddrs) > 0:
+		// Externally launched geniecache nodes (cmd/geniecache -nodes N).
+		for _, addr := range cfg.CacheAddrs {
+			pool := cacheproto.NewPool(addr, cfg.PoolIdleConns)
+			st.Pools = append(st.Pools, pool)
+			nodes = append(nodes, pool)
+		}
+	case cfg.Transport == TransportRemote:
+		// Self-contained remote tier: one real cacheproto server per node on
+		// loopback TCP, each reached through a pooled client.
+		for i := 0; i < cfg.CacheNodes; i++ {
+			store := kvcache.New(perNode)
+			srv := cacheproto.NewServer(store)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				st.Close()
+				return nil, fmt.Errorf("workload: cache node %d: %w", i, err)
+			}
+			pool := cacheproto.NewPool(addr, cfg.PoolIdleConns)
+			st.Stores = append(st.Stores, store)
+			st.Servers = append(st.Servers, srv)
+			st.Pools = append(st.Pools, pool)
+			nodes = append(nodes, pool)
+		}
+	default:
+		for i := 0; i < cfg.CacheNodes; i++ {
+			store := kvcache.New(perNode)
+			st.Stores = append(st.Stores, store)
+			nodes = append(nodes, store)
+		}
 	}
 	var logical kvcache.Cache
-	if cfg.CacheNodes == 1 {
-		logical = st.Stores[0]
+	if len(nodes) == 1 {
+		logical = nodes[0]
 	} else {
-		nodes := make([]kvcache.Cache, len(st.Stores))
-		for i, s := range st.Stores {
-			nodes[i] = s
-		}
 		ring, err := cluster.NewRing(nodes)
 		if err != nil {
+			st.Close()
 			return nil, err
 		}
 		logical = ring
+	}
+	if len(cfg.CacheAddrs) > 0 {
+		// External servers may hold a previous run's entries.
+		logical.FlushAll()
 	}
 	if model.CacheRoundTrip > 0 {
 		logical = kvcache.WithLatency(logical, model.CacheRoundTrip, sleeper)
@@ -155,24 +268,45 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 			Sleeper:                 sleeper,
 		})
 		if err != nil {
+			st.Close()
 			return nil, err
 		}
 		st.Genie = g
 	}
 	app, err := social.NewApp(reg, st.Genie, strategy)
 	if err != nil {
+		st.Close()
 		return nil, err
 	}
 	st.App = app
 	if err := app.Seed(cfg.Seed, rand.New(rand.NewSource(cfg.RngSeed+1))); err != nil {
+		st.Close()
 		return nil, fmt.Errorf("workload: seeding: %w", err)
 	}
 	return st, nil
 }
 
-// CacheStats aggregates stats across the stack's cache nodes.
+// CacheStats aggregates stats across the stack's cache nodes. With external
+// remote nodes (no in-process stores) it falls back to the wire-level stats
+// command, which carries the subset of counters the protocol exports.
 func (s *Stack) CacheStats() kvcache.Stats {
 	var agg kvcache.Stats
+	if len(s.Stores) == 0 && len(s.Pools) > 0 {
+		for _, p := range s.Pools {
+			st, err := p.ServerStats()
+			if err != nil {
+				continue
+			}
+			agg.Hits += st["get_hits"]
+			agg.Misses += st["get_misses"]
+			agg.Sets += st["cmd_set"]
+			agg.Evictions += st["evictions"]
+			agg.Items += st["curr_items"]
+			agg.BytesUsed += st["bytes"]
+			agg.BytesLimit += st["limit_maxbytes"]
+		}
+		return agg
+	}
 	for _, st := range s.Stores {
 		x := st.Stats()
 		agg.Hits += x.Hits
