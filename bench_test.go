@@ -452,6 +452,43 @@ func BenchmarkExp7RemoteCluster(b *testing.B) {
 	}
 }
 
+// ---------- Experiment 8: node failure and live ring membership ----------
+
+// BenchmarkExp8NodeFailure runs the failure drill: a 4-node loopback tier
+// loses one node mid-run. Expected shape: hit rate collapses by roughly the
+// dead node's 1/N key share; per-op latency against the dead node is
+// orders of magnitude lower with the breaker (in-process short-circuit)
+// than without (a fresh failed dial per op); removing the node remaps only
+// ~1/N of keys; and reviving + rejoining it restores the original
+// assignment exactly, recovering hit rate. The timeline is also written to
+// BENCH_exp8.json, which CI uploads as a workflow artifact.
+func BenchmarkExp8NodeFailure(b *testing.B) {
+	opt := benchOpts()
+	var last workload.Exp8Result
+	var failFast, dialStorm, degradedHit, rejoinedHit, remap float64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Exp8(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+		failFast += float64(res.FailFastP99.Nanoseconds()) / 1000
+		dialStorm += float64(res.DialStormP99.Nanoseconds()) / 1000
+		degradedHit += res.Degraded.HitRate
+		rejoinedHit += res.Rejoined.HitRate
+		remap += res.RemapFraction
+	}
+	b.ReportMetric(failFast/float64(b.N), "failfast-p99-us")
+	b.ReportMetric(dialStorm/float64(b.N), "dialstorm-p99-us")
+	b.ReportMetric(degradedHit/float64(b.N), "degraded-hit-rate")
+	b.ReportMetric(rejoinedHit/float64(b.N), "rejoined-hit-rate")
+	b.ReportMetric(remap/float64(b.N), "remap-fraction")
+	b.ReportMetric(0, "ns/op")
+	if err := workload.WriteExp8JSON("BENCH_exp8.json", last); err != nil {
+		b.Logf("BENCH_exp8.json not written: %v", err)
+	}
+}
+
 // ---------- Ablations (design choices from DESIGN.md) ----------
 
 // BenchmarkAblationTemplateInvalidation contrasts CacheGenie's key-granular

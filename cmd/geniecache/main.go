@@ -15,6 +15,14 @@
 // line, followed by a comma-joined list ready for
 // `genieload -transport remote -cache-addrs ...`.
 //
+// Failure drills: -kill-node N -kill-after D kills node N (listener and all
+// connections torn down, exactly a crashed process from the client side)
+// D after startup; -revive-after D brings it back cold on the same address
+// D after the kill. Point genieload at the tier to watch breakers trip and
+// recover:
+//
+//	geniecache -addr 127.0.0.1:11311 -nodes 4 -kill-node 1 -kill-after 10s -revive-after 15s
+//
 // On SIGINT/SIGTERM the servers shut down gracefully: listeners close, open
 // connections are torn down, handler goroutines are joined, and per-node
 // stats print before exit.
@@ -29,7 +37,9 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"cachegenie/internal/cacheproto"
 	"cachegenie/internal/kvcache"
@@ -39,10 +49,16 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:11311", "listen address of the first node")
 	capacity := flag.Int64("capacity", 512<<20, "total cache capacity in bytes, split across nodes (0 = unbounded)")
 	nodes := flag.Int("nodes", 1, "number of cache nodes to launch on consecutive ports")
+	killNode := flag.Int("kill-node", -1, "node index to kill for a failure drill (-1 = none)")
+	killAfter := flag.Duration("kill-after", 10*time.Second, "how long after startup to kill -kill-node")
+	reviveAfter := flag.Duration("revive-after", 0, "how long after the kill to revive the node cold on the same address (0 = stay dead)")
 	flag.Parse()
 
 	if *nodes < 1 {
 		log.Fatalf("geniecache: -nodes must be >= 1, got %d", *nodes)
+	}
+	if *killNode >= *nodes {
+		log.Fatalf("geniecache: -kill-node %d out of range for %d nodes", *killNode, *nodes)
 	}
 	host, portStr, err := net.SplitHostPort(*addr)
 	if err != nil {
@@ -80,11 +96,44 @@ func main() {
 	}
 	fmt.Printf("cache tier ready: -cache-addrs %s\n", strings.Join(bounds, ","))
 
+	// srvMu guards servers[i] against the failure-drill goroutine swapping a
+	// revived server in while shutdown walks the slice.
+	var srvMu sync.Mutex
+	if *killNode >= 0 {
+		i := *killNode
+		go func() {
+			time.Sleep(*killAfter)
+			srvMu.Lock()
+			err := servers[i].Close()
+			srvMu.Unlock()
+			if err != nil {
+				log.Printf("geniecache: drill kill node %d: %v", i, err)
+				return
+			}
+			fmt.Printf("drill: node %d (%s) killed\n", i, bounds[i])
+			if *reviveAfter <= 0 {
+				return
+			}
+			time.Sleep(*reviveAfter)
+			srv, err := cacheproto.RestartServer(stores[i], bounds[i])
+			if err != nil {
+				log.Printf("geniecache: drill revive node %d: %v", i, err)
+				return
+			}
+			srvMu.Lock()
+			servers[i] = srv
+			srvMu.Unlock()
+			fmt.Printf("drill: node %d (%s) revived cold\n", i, bounds[i])
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down...")
 	failed := false
+	srvMu.Lock()
+	defer srvMu.Unlock()
 	for i, srv := range servers {
 		if err := srv.Close(); err != nil {
 			log.Printf("geniecache: node %d close: %v", i, err)

@@ -15,6 +15,7 @@
 //	genieload -experiment exp5           # trigger overhead under load
 //	genieload -experiment exp6           # sync vs async invalidation bus
 //	genieload -experiment exp7           # remote cache tier over real TCP
+//	genieload -experiment exp8           # node failure: breaker + live ring membership
 //	genieload -experiment micro          # §5.3 microbenchmarks
 //	genieload -experiment effort         # §5.2 programmer effort
 //	genieload -experiment ablation       # template-invalidation baseline
@@ -30,6 +31,12 @@
 // -cache-addrs points at externally launched geniecache nodes
 // (cmd/geniecache -nodes N prints a ready-made list) instead of
 // self-launched loopback ones.
+//
+// exp8 is the failure drill: it launches its own loopback tier, kills one
+// node mid-run (matching geniecache's -kill-node/-kill-after flags for
+// external tiers), measures the circuit breaker's fail-fast behaviour
+// against the pre-resilience dial storm, drops the dead node from the ring,
+// revives and rejoins it, and writes the timeline to BENCH_exp8.json.
 package main
 
 import (
@@ -44,7 +51,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, micro, effort, ablation)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, micro, effort, ablation)")
 	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	async := flag.Bool("async", false, "route trigger cache maintenance through the async invalidation bus")
@@ -184,6 +191,20 @@ func main() {
 				return err
 			}
 			fmt.Println("series written to BENCH_exp7.json")
+			return nil
+		})
+	}
+	if all || *experiment == "exp8" {
+		matched = true
+		run("Experiment 8: node failure (circuit breaker, live ring membership)", func() error {
+			res, err := workload.Exp8(opt)
+			if err != nil {
+				return err
+			}
+			if err := workload.WriteExp8JSON("BENCH_exp8.json", res); err != nil {
+				return err
+			}
+			fmt.Println("timeline written to BENCH_exp8.json")
 			return nil
 		})
 	}

@@ -85,7 +85,8 @@ func (c *Client) roundTrip(cmd string, data []byte) (string, error) {
 	return strings.TrimRight(line, "\r\n"), nil
 }
 
-// fetch runs get/gets and parses VALUE blocks; must hold c.mu.
+// fetch runs get/gets and parses VALUE blocks. It takes c.mu itself —
+// callers must NOT hold it.
 func (c *Client) fetch(cmd, key string) (val []byte, cas uint64, found bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -249,15 +250,36 @@ func (c *Client) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 
 // applyBatch is ApplyBatch with the connection error exposed, so the Pool
 // can discard a conn whose mop exchange broke mid-stream.
+//
+// Ops the server is guaranteed to refuse (a value over its size cap) are
+// skipped client-side — their result stays zero-valued — instead of being
+// pipelined: the server answers an oversized set by aborting the whole
+// batch, which would throw away every other op flushed with it (an
+// invalidation bus batch coalesces unrelated deletes into the same mop; one
+// bad set must not cancel those).
 func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error) {
 	out := make([]kvcache.BatchResult, len(ops))
 	if len(ops) == 0 {
 		return out, nil
 	}
+	send := make([]int, 0, len(ops)) // indices of ops actually pipelined
+	for i, op := range ops {
+		if !validKey(op.Key) {
+			continue
+		}
+		if op.Kind == kvcache.BatchSet && len(op.Value) > maxValueBytes {
+			continue
+		}
+		send = append(send, i)
+	}
+	if len(send) == 0 {
+		return out, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "mop %d\r\n", len(ops))
-	for _, op := range ops {
+	fmt.Fprintf(c.w, "mop %d\r\n", len(send))
+	for _, i := range send {
+		op := ops[i]
 		switch op.Kind {
 		case kvcache.BatchSet:
 			fmt.Fprintf(c.w, "set %s 0 %d %d\r\n", op.Key, ttlSeconds(op.TTL), len(op.Value))
@@ -272,12 +294,20 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 	if err := c.w.Flush(); err != nil {
 		return out, err
 	}
-	for i := range ops {
+	for n, i := range send {
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return out, err
 		}
 		line = strings.TrimRight(line, "\r\n")
+		if isErrorLine(line) {
+			// The server aborted the batch: it sent this error line instead
+			// of the remaining results and the trailing END, so the stream is
+			// unframed from here. Surface an error so the Pool discards the
+			// connection rather than parsing the error as an op result (a
+			// delete would read it as not-found) and then hanging on END.
+			return out, fmt.Errorf("cacheproto: mop aborted at op %d: %s", n, line)
+		}
 		switch ops[i].Kind {
 		case kvcache.BatchSet:
 			out[i] = kvcache.BatchResult{Found: line == "STORED"}
@@ -298,6 +328,34 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 		return out, fmt.Errorf("cacheproto: mop response unframed: %q", line)
 	}
 	return out, nil
+}
+
+// isErrorLine reports whether a response line is one of the protocol's error
+// replies (memcached's ERROR / CLIENT_ERROR msg / SERVER_ERROR msg), which
+// can replace a result line mid-batch when the server aborts.
+func isErrorLine(line string) bool {
+	return line == "ERROR" ||
+		strings.HasPrefix(line, "CLIENT_ERROR") ||
+		strings.HasPrefix(line, "SERVER_ERROR")
+}
+
+// maxKeyBytes is memcached's classic key-length bound.
+const maxKeyBytes = 250
+
+// validKey reports whether key is expressible in the text protocol:
+// non-empty, bounded, and free of whitespace and control characters
+// (memcached's key rules). A key that fails this would split into extra
+// protocol fields on the wire and make the server abort the exchange.
+func validKey(key string) bool {
+	if key == "" || len(key) > maxKeyBytes {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return false
+		}
+	}
+	return true
 }
 
 // ServerStats fetches the server's counters.

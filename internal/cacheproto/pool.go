@@ -15,6 +15,74 @@ import (
 // of sockets per node.
 const DefaultPoolIdle = 8
 
+// DefaultPoolMaxConns is the default total-connection cap (idle plus checked
+// out plus in-flight dials). Before the cap, a burst of concurrent checkouts
+// against an empty pool would each dial — a cold or recovering node could see
+// an unbounded connection storm; the cap makes excess checkouts wait for a
+// returned connection instead.
+const DefaultPoolMaxConns = 4 * DefaultPoolIdle
+
+// DefaultFailThreshold is how many consecutive operation failures trip the
+// circuit breaker.
+const DefaultFailThreshold = 3
+
+// DefaultProbeInterval is how often a tripped pool probes the server in the
+// background to decide whether to close the breaker again.
+const DefaultProbeInterval = 250 * time.Millisecond
+
+// BreakerState is the pool's health state.
+type BreakerState int32
+
+// Breaker states, the classic three-state machine.
+const (
+	// BreakerClosed: healthy, operations flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the node is considered dead; operations fail fast as
+	// misses without touching the network, and a background probe runs every
+	// ProbeInterval.
+	BreakerOpen
+	// BreakerHalfOpen: a probe is in flight; operations still fail fast
+	// until it succeeds.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// PoolConfig assembles a Pool. The zero value of every field except Addr is
+// usable.
+type PoolConfig struct {
+	// Addr is the cache server address. Required.
+	Addr string
+	// MaxIdle bounds parked connections (<= 0 picks DefaultPoolIdle).
+	MaxIdle int
+	// MaxConns caps total connections — idle, checked out, and dialing
+	// (<= 0 picks DefaultPoolMaxConns; raised to MaxIdle if below it).
+	// Checkouts beyond the cap wait for a returned connection.
+	MaxConns int
+	// FailThreshold is how many consecutive operation failures trip the
+	// circuit breaker (<= 0 picks DefaultFailThreshold). Any successful
+	// operation resets the count.
+	FailThreshold int
+	// ProbeInterval is the background probe cadence while the breaker is
+	// open (<= 0 picks DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// DisableBreaker keeps the pre-breaker behaviour: every operation
+	// against a dead node attempts a fresh dial. Used as the Experiment 8
+	// baseline; production callers should leave it false.
+	DisableBreaker bool
+}
+
 // Pool is a connection-pooled cacheproto client for one cache server. It
 // implements kvcache.Cache and kvcache.BatchApplier like Client, but where a
 // single Client serializes every operation on one TCP connection, a Pool
@@ -22,25 +90,44 @@ const DefaultPoolIdle = 8
 // clients, trigger firings, parallel ring fan-out, invalidation-bus workers)
 // proceed on separate connections and only contend on the checkout mutex.
 //
-// Connections are created lazily, one Dial per checkout miss, and at most
-// maxIdle of them are parked for reuse when returned; extras are closed. A
-// connection that sees any error mid-operation is discarded instead of being
-// returned, so one broken socket never poisons later operations.
+// Connections are created lazily, one Dial per checkout miss, at most
+// MaxConns in existence at once (excess checkouts wait for a return), and at
+// most MaxIdle of them are parked for reuse when returned; extras are
+// closed. A connection that sees any error mid-operation is discarded
+// instead of being returned, so one broken socket never poisons later
+// operations.
+//
+// Health. The pool tracks consecutive operation failures; at FailThreshold
+// the circuit breaker trips and subsequent operations fail fast as misses —
+// no dial, no network — so a dead node costs nanoseconds per op instead of a
+// dial timeout. While open, a background goroutine probes the server every
+// ProbeInterval (half-open state); one successful round trip closes the
+// breaker and the probe's connection is parked for reuse.
 //
 // Batches still pipeline: ApplyBatch checks out one connection and runs the
 // whole mop exchange on it, so a flush from the invalidation bus costs a
 // single round trip regardless of pool size.
 type Pool struct {
-	addr    string
-	maxIdle int
+	cfg PoolConfig
 
-	mu     sync.Mutex
-	idle   []*Client
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when a connection returns or the pool state changes
+	idle    []*Client
+	total   int // connections in existence: idle + checked out + dialing
+	closed  bool
+	fails   int          // consecutive operation failures (guarded by mu)
+	state   BreakerState // guarded by mu
+	probing bool         // a probe goroutine is running (guarded by mu)
+	closeCh chan struct{}
 
-	dials    atomic.Int64
-	reuses   atomic.Int64
-	discards atomic.Int64
+	dials     atomic.Int64
+	dialFails atomic.Int64
+	reuses    atomic.Int64
+	discards  atomic.Int64
+	failFast  atomic.Int64
+	trips     atomic.Int64
+	waits     atomic.Int64
+	probes    atomic.Int64
 }
 
 var (
@@ -48,49 +135,98 @@ var (
 	_ kvcache.BatchApplier = (*Pool)(nil)
 )
 
-// NewPool creates a pool of connections to the cache server at addr.
-// maxIdle bounds parked connections (<= 0 picks DefaultPoolIdle). No
-// connection is opened until the first operation needs one.
+// NewPool creates a pool of connections to the cache server at addr with
+// default health checking. maxIdle bounds parked connections (<= 0 picks
+// DefaultPoolIdle). No connection is opened until the first operation needs
+// one.
 func NewPool(addr string, maxIdle int) *Pool {
-	if maxIdle <= 0 {
-		maxIdle = DefaultPoolIdle
+	return NewPoolWithConfig(PoolConfig{Addr: addr, MaxIdle: maxIdle})
+}
+
+// NewPoolWithConfig creates a pool with explicit health and sizing knobs.
+func NewPoolWithConfig(cfg PoolConfig) *Pool {
+	if cfg.MaxIdle <= 0 {
+		cfg.MaxIdle = DefaultPoolIdle
 	}
-	return &Pool{addr: addr, maxIdle: maxIdle}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultPoolMaxConns
+	}
+	if cfg.MaxConns < cfg.MaxIdle {
+		cfg.MaxConns = cfg.MaxIdle
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	p := &Pool{cfg: cfg, closeCh: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // Addr returns the server address this pool connects to.
-func (p *Pool) Addr() string { return p.addr }
+func (p *Pool) Addr() string { return p.cfg.Addr }
+
+// State returns the breaker's current state.
+func (p *Pool) State() BreakerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
 
 // PoolStats counts pool activity.
 type PoolStats struct {
-	Dials    int64 // connections opened
-	Reuses   int64 // checkouts served from the idle list
-	Discards int64 // connections dropped after an error
-	Idle     int   // currently parked connections
+	Dials     int64 // connections opened
+	DialFails int64 // dial attempts that failed (the dial-storm signal)
+	Reuses    int64 // checkouts served from the idle list
+	Discards  int64 // connections dropped after an error
+	Idle      int   // currently parked connections
+	Conns     int   // total connections in existence (idle + checked out)
+	Waits     int64 // checkouts that blocked on the MaxConns cap
+	FailFast  int64 // operations short-circuited by an open breaker
+	Trips     int64 // closed→open breaker transitions
+	Probes    int64 // background probe attempts while open
+	State     BreakerState
 }
 
 // Stats returns a snapshot of pool counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	idle := len(p.idle)
+	idle, total, state := len(p.idle), p.total, p.state
 	p.mu.Unlock()
 	return PoolStats{
-		Dials:    p.dials.Load(),
-		Reuses:   p.reuses.Load(),
-		Discards: p.discards.Load(),
-		Idle:     idle,
+		Dials:     p.dials.Load(),
+		DialFails: p.dialFails.Load(),
+		Reuses:    p.reuses.Load(),
+		Discards:  p.discards.Load(),
+		Idle:      idle,
+		Conns:     total,
+		Waits:     p.waits.Load(),
+		FailFast:  p.failFast.Load(),
+		Trips:     p.trips.Load(),
+		Probes:    p.probes.Load(),
+		State:     state,
 	}
 }
 
 // Close closes all idle connections and marks the pool closed. In-flight
 // operations finish on their checked-out connections (which are then closed
 // rather than parked); later operations fail to check out and degrade to
-// misses, mirroring Client's behaviour against a dead server.
+// misses, mirroring Client's behaviour against a dead server. The background
+// probe, if running, stops.
 func (p *Pool) Close() error {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
 	idle := p.idle
 	p.idle = nil
+	p.total -= len(idle)
 	p.closed = true
+	close(p.closeCh)
+	p.cond.Broadcast()
 	p.mu.Unlock()
 	var err error
 	for _, c := range idle {
@@ -101,23 +237,50 @@ func (p *Pool) Close() error {
 	return err
 }
 
-// get checks a connection out: newest idle one first, else a fresh dial.
+var errBreakerOpen = fmt.Errorf("cacheproto: circuit breaker open")
+
+// get checks a connection out: newest idle one first, else a fresh dial if
+// the MaxConns cap allows, else it waits for a returned connection. With the
+// breaker open it fails immediately without touching the network.
 func (p *Pool) get() (*Client, error) {
 	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("cacheproto: pool for %s is closed", p.addr)
-	}
-	if n := len(p.idle); n > 0 {
-		c := p.idle[n-1]
-		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		p.reuses.Add(1)
-		return c, nil
+	waited := false
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("cacheproto: pool for %s is closed", p.cfg.Addr)
+		}
+		if p.state != BreakerClosed {
+			p.mu.Unlock()
+			p.failFast.Add(1)
+			return nil, errBreakerOpen
+		}
+		if n := len(p.idle); n > 0 {
+			c := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			p.reuses.Add(1)
+			return c, nil
+		}
+		if p.total < p.cfg.MaxConns {
+			p.total++ // reserve the slot while dialing
+			break
+		}
+		if !waited {
+			waited = true
+			p.waits.Add(1)
+		}
+		p.cond.Wait()
 	}
 	p.mu.Unlock()
-	c, err := Dial(p.addr)
+	c, err := Dial(p.cfg.Addr)
 	if err != nil {
+		p.dialFails.Add(1)
+		p.mu.Lock()
+		p.total--
+		p.recordFailureLocked()
+		p.cond.Signal()
+		p.mu.Unlock()
 		return nil, err
 	}
 	p.dials.Add(1)
@@ -126,21 +289,125 @@ func (p *Pool) get() (*Client, error) {
 
 // put returns a connection after an operation. A connection that errored is
 // closed and dropped — its protocol stream may be unframed; parking it would
-// corrupt the next operation. Healthy connections park up to maxIdle.
+// corrupt the next operation — and the failure counts toward the breaker
+// threshold. Healthy connections reset the failure count and park up to
+// MaxIdle.
 func (p *Pool) put(c *Client, opErr error) {
 	if opErr != nil {
 		p.discards.Add(1)
 		_ = c.conn.Close()
-		return
-	}
-	p.mu.Lock()
-	if !p.closed && len(p.idle) < p.maxIdle {
-		p.idle = append(p.idle, c)
+		p.mu.Lock()
+		p.total--
+		p.recordFailureLocked()
+		p.cond.Signal()
 		p.mu.Unlock()
 		return
 	}
+	p.mu.Lock()
+	p.fails = 0
+	if !p.closed && len(p.idle) < p.cfg.MaxIdle {
+		p.idle = append(p.idle, c)
+		p.cond.Signal()
+		p.mu.Unlock()
+		return
+	}
+	p.total--
+	p.cond.Signal()
 	p.mu.Unlock()
 	_ = c.Close()
+}
+
+// recordFailureLocked counts one operation failure and trips the breaker at
+// the threshold. Caller holds p.mu.
+func (p *Pool) recordFailureLocked() {
+	if p.cfg.DisableBreaker || p.closed {
+		return
+	}
+	p.fails++
+	if p.state != BreakerClosed || p.fails < p.cfg.FailThreshold {
+		return
+	}
+	p.state = BreakerOpen
+	p.trips.Add(1)
+	// Waiters blocked on the MaxConns cap should fail fast now, not wait for
+	// a connection that will never return healthy.
+	p.cond.Broadcast()
+	// Discard the idle list: parked connections to a node that just failed
+	// FailThreshold times in a row are almost certainly dead too, and the
+	// probe re-establishes a fresh one on recovery.
+	idle := p.idle
+	p.idle = nil
+	p.total -= len(idle)
+	for _, c := range idle {
+		_ = c.conn.Close()
+	}
+	if !p.probing {
+		p.probing = true
+		go p.probeLoop()
+	}
+}
+
+// probeLoop runs while the breaker is open: every ProbeInterval it goes
+// half-open, attempts one full protocol round trip, and either closes the
+// breaker (parking the probe connection) or re-opens and tries again.
+func (p *Pool) probeLoop() {
+	timer := time.NewTimer(p.cfg.ProbeInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.closeCh:
+			p.mu.Lock()
+			p.probing = false
+			p.mu.Unlock()
+			return
+		case <-timer.C:
+		}
+		p.mu.Lock()
+		if p.closed || p.state == BreakerClosed {
+			p.probing = false
+			p.mu.Unlock()
+			return
+		}
+		p.state = BreakerHalfOpen
+		p.mu.Unlock()
+		p.probes.Add(1)
+		if c := p.probe(); c != nil {
+			p.mu.Lock()
+			p.state = BreakerClosed
+			p.fails = 0
+			p.probing = false
+			if !p.closed && len(p.idle) < p.cfg.MaxIdle && p.total < p.cfg.MaxConns {
+				p.idle = append(p.idle, c)
+				p.total++
+				c = nil
+			}
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			if c != nil {
+				_ = c.Close()
+			}
+			return
+		}
+		p.mu.Lock()
+		p.state = BreakerOpen
+		p.mu.Unlock()
+		timer.Reset(p.cfg.ProbeInterval)
+	}
+}
+
+// probe attempts one dial plus one stats round trip — proof the server is
+// accepting connections and speaking the protocol, not merely listening.
+// Returns the healthy connection, or nil.
+func (p *Pool) probe() *Client {
+	c, err := Dial(p.cfg.Addr)
+	if err != nil {
+		return nil
+	}
+	if _, err := c.ServerStats(); err != nil {
+		_ = c.conn.Close()
+		return nil
+	}
+	return c
 }
 
 // Get implements kvcache.Cache. Checkout or network errors surface as
@@ -247,6 +514,11 @@ func (p *Pool) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 	}
 	res, err := c.applyBatch(ops)
 	p.put(c, err)
+	if err != nil {
+		// A batch that broke mid-stream has partially-trustworthy results at
+		// best; report all-failed so callers treat it as a lost flush.
+		return make([]kvcache.BatchResult, len(ops))
+	}
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"cachegenie/internal/kvcache"
 )
@@ -216,4 +217,229 @@ func TestPoolConcurrentMixedOps(t *testing.T) {
 	if st := pool.Stats(); st.Discards != 0 {
 		t.Fatalf("healthy run discarded conns: %+v", st)
 	}
+}
+
+// waitForState polls until the pool reaches want or the deadline passes.
+func waitForState(t *testing.T, pool *Pool, want BreakerState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pool.State() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("pool state = %v after 5s, want %v (stats %+v)", pool.State(), want, pool.Stats())
+}
+
+func TestPoolBreakerLifecycle(t *testing.T) {
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPoolWithConfig(PoolConfig{
+		Addr: addr, MaxIdle: 2, FailThreshold: 3, ProbeInterval: 5 * time.Millisecond,
+	})
+	defer pool.Close()
+
+	pool.Set("k", []byte("v"), 0)
+	if got := pool.State(); got != BreakerClosed {
+		t.Fatalf("healthy pool state = %v", got)
+	}
+
+	// Kill the node: the parked conn fails once, then fresh dials fail until
+	// the threshold trips the breaker.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := pool.Get("k"); ok {
+			t.Fatal("Get succeeded against a dead server")
+		}
+	}
+	if got := pool.State(); got != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open (stats %+v)", 3, got, pool.Stats())
+	}
+	st := pool.Stats()
+	if st.Trips != 1 {
+		t.Fatalf("trips = %d, want 1", st.Trips)
+	}
+
+	// Open breaker: ops fail fast with zero dials.
+	dialsBefore := st.Dials
+	for i := 0; i < 50; i++ {
+		if _, ok := pool.Get("k"); ok {
+			t.Fatal("fail-fast Get returned a hit")
+		}
+	}
+	st = pool.Stats()
+	if st.Dials != dialsBefore {
+		t.Fatalf("open breaker dialed: %d -> %d", dialsBefore, st.Dials)
+	}
+	if st.FailFast < 50 {
+		t.Fatalf("failFast = %d, want >= 50", st.FailFast)
+	}
+
+	// While the node stays dead the probe keeps trying and the breaker stays
+	// open (passing through half-open during each attempt).
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.Stats().Probes == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if pool.Stats().Probes == 0 {
+		t.Fatal("no probe attempted while open")
+	}
+	if got := pool.State(); got == BreakerClosed {
+		t.Fatalf("breaker closed against a dead node")
+	}
+
+	// Revive the node on the same address: the probe closes the breaker and
+	// operations flow again.
+	store2 := kvcache.New(0)
+	srv2 := NewServer(store2)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	waitForState(t, pool, BreakerClosed)
+	pool.Set("k2", []byte("v2"), 0)
+	if v, ok := pool.Get("k2"); !ok || string(v) != "v2" {
+		t.Fatalf("pool did not recover: %q, %v", v, ok)
+	}
+}
+
+func TestPoolBreakerDisabled(t *testing.T) {
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPoolWithConfig(PoolConfig{Addr: addr, MaxIdle: 2, DisableBreaker: true})
+	defer pool.Close()
+	pool.Set("k", []byte("v"), 0)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every op keeps attempting a dial; the breaker never trips. The first
+	// Get burns the parked conn; the other 9 each pay a failed dial.
+	for i := 0; i < 10; i++ {
+		if _, ok := pool.Get("k"); ok {
+			t.Fatal("Get succeeded against a dead server")
+		}
+	}
+	st := pool.Stats()
+	if st.Trips != 0 || st.State != BreakerClosed {
+		t.Fatalf("disabled breaker tripped: %+v", st)
+	}
+	if st.DialFails < 9 {
+		t.Fatalf("dialFails = %d, want >= 9 — the disabled breaker must keep paying the dial storm", st.DialFails)
+	}
+	if st.FailFast != 0 {
+		t.Fatalf("failFast = %d with breaker disabled", st.FailFast)
+	}
+}
+
+func TestPoolSuccessResetsFailureCount(t *testing.T) {
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pool := NewPoolWithConfig(PoolConfig{Addr: addr, MaxIdle: 2, FailThreshold: 3})
+	defer pool.Close()
+	// Alternate one failure with one success: the consecutive count resets
+	// each round and the breaker must never trip, even though total
+	// failures exceed the threshold. Failures are injected by hand through
+	// put(c, err) — the exact path every broken operation takes.
+	for round := 0; round < 5; round++ {
+		c, err := pool.get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.put(c, fmt.Errorf("injected op failure"))
+		pool.Set("ok", []byte("v"), 0)
+	}
+	if st := pool.Stats(); st.Trips != 0 || st.State != BreakerClosed {
+		t.Fatalf("breaker tripped without consecutive failures: %+v", st)
+	}
+}
+
+func TestPoolCapsTotalConnections(t *testing.T) {
+	_, pool := newPoolPairCfg(t, PoolConfig{MaxIdle: 2, MaxConns: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i)
+				pool.Set(k, []byte("v"), 0)
+				if v, ok := pool.Get(k); !ok || string(v) != "v" {
+					t.Errorf("round trip %s failed: %q %v", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := pool.Stats()
+	if st.Conns > 2 {
+		t.Fatalf("conns = %d, want <= 2 (stats %+v)", st.Conns, st)
+	}
+	// A healthy run never discards, so connections live forever: at most
+	// MaxConns dials can ever have happened.
+	if st.Dials > 2 {
+		t.Fatalf("dials = %d, want <= 2 — the cap did not stop burst dialing (stats %+v)", st.Dials, st)
+	}
+	if st.Waits == 0 {
+		t.Fatalf("8 goroutines over a 2-conn cap never waited: %+v", st)
+	}
+	if st.Discards != 0 {
+		t.Fatalf("healthy run discarded conns: %+v", st)
+	}
+}
+
+// newPoolPairCfg is newPoolPair with explicit pool configuration.
+func newPoolPairCfg(t *testing.T, cfg PoolConfig) (*kvcache.Store, *Pool) {
+	t.Helper()
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	cfg.Addr = addr
+	pool := NewPoolWithConfig(cfg)
+	t.Cleanup(func() { _ = pool.Close() })
+	return store, pool
+}
+
+func TestPoolCloseUnblocksWaiters(t *testing.T) {
+	_, pool := newPoolPairCfg(t, PoolConfig{MaxIdle: 1, MaxConns: 1})
+	// Hold the only connection via a checked-out client.
+	c, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pool.Get("k") // blocks on the cap
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not released by Close")
+	}
+	pool.put(c, nil) // returning after close must not panic
 }

@@ -246,3 +246,190 @@ func TestServerConcurrentClientStress(t *testing.T) {
 		t.Fatalf("final probe = %q, %v", v, ok)
 	}
 }
+
+// scriptedServer accepts connections, consumes whatever the client writes,
+// and answers each connection with the fixed canned response — a stand-in
+// for a buggy, hostile, or version-skewed server whose responses our own
+// Server would never produce (the client pre-filters the ops that would
+// make the real server abort).
+func scriptedServer(t *testing.T, response string) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 1<<16)
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+				_, _ = conn.Write([]byte(response))
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestClientApplyBatchMidBatchError proves a mop batch the server aborts
+// mid-stream surfaces as a connection error instead of being misparsed: the
+// scripted server answers op 2 with CLIENT_ERROR in place of its result
+// line and the trailing END, so treating that line as an ordinary result
+// would corrupt every later op and then hang on the missing END.
+func TestClientApplyBatchMidBatchError(t *testing.T) {
+	addr := scriptedServer(t, "STORED\r\nCLIENT_ERROR boom\r\n")
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	ops := []kvcache.BatchOp{
+		{Kind: kvcache.BatchSet, Key: "ok", Value: []byte("fine")},
+		{Kind: kvcache.BatchDelete, Key: "victim"},
+		{Kind: kvcache.BatchDelete, Key: "other"},
+	}
+	res, err := c.applyBatch(ops)
+	if err == nil {
+		t.Fatalf("mid-batch CLIENT_ERROR not surfaced; results = %+v", res)
+	}
+	if !strings.Contains(err.Error(), "CLIENT_ERROR") {
+		t.Fatalf("error does not carry the server line: %v", err)
+	}
+	// Results before the abort parsed; from the abort on they stay zero.
+	if !res[0].Found || res[1].Found || res[2].Found {
+		t.Fatalf("results around the abort: %+v", res)
+	}
+}
+
+// TestPoolDiscardsConnAfterMopAbort is the pool-level half of the same bug:
+// the broken connection must be discarded, not parked.
+func TestPoolDiscardsConnAfterMopAbort(t *testing.T) {
+	addr := scriptedServer(t, "SERVER_ERROR out of memory\r\n")
+	pool := NewPool(addr, 2)
+	defer pool.Close()
+
+	res := pool.ApplyBatch([]kvcache.BatchOp{
+		{Kind: kvcache.BatchDelete, Key: "a"},
+		{Kind: kvcache.BatchSet, Key: "b", Value: []byte("2")},
+	})
+	if res[0].Found || res[1].Found {
+		t.Fatalf("aborted batch reported success: %+v", res)
+	}
+	st := pool.Stats()
+	if st.Discards != 1 {
+		t.Fatalf("broken conn not discarded: %+v", st)
+	}
+	if st.Idle != 0 {
+		t.Fatalf("broken conn parked: %+v", st)
+	}
+}
+
+// TestServerNegativeExptime checks the memcached semantics of exptime signs:
+// negative means already expired (stored but never retrievable), zero means
+// immortal. The regression: a negative exptime used to reach the kvcache
+// store as ttl < 0, which it treats as never-expiring — the exact opposite.
+func TestServerNegativeExptime(t *testing.T) {
+	addr, _ := rawServer(t)
+	conn, r := rawDial(t, addr)
+
+	send := func(s string) string {
+		t.Helper()
+		if _, err := fmt.Fprint(conn, s); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimRight(line, "\r\n")
+	}
+
+	if got := send("set doomed 0 -1 1\r\nx\r\n"); got != "STORED" {
+		t.Fatalf("set with negative exptime = %q, want STORED", got)
+	}
+	time.Sleep(time.Millisecond) // outlive the 1ns translated ttl
+	if got := send("get doomed\r\n"); got != "END" {
+		t.Fatalf("negative-exptime entry retrievable: %q", got)
+	}
+	// add over the expired entry succeeds (the slot is free again)...
+	if got := send("add doomed 0 -5 1\r\ny\r\n"); got != "STORED" {
+		t.Fatalf("add with negative exptime = %q, want STORED", got)
+	}
+	time.Sleep(time.Millisecond)
+	if got := send("get doomed\r\n"); got != "END" {
+		t.Fatalf("negative-exptime add retrievable: %q", got)
+	}
+	// ...while zero exptime stays the immortal path.
+	if got := send("set forever 0 0 1\r\nz\r\n"); got != "STORED" {
+		t.Fatalf("set = %q", got)
+	}
+	time.Sleep(time.Millisecond)
+	if got := send("get forever\r\n"); got != "VALUE forever 0 1" {
+		t.Fatalf("zero-exptime entry missing: %q", got)
+	}
+	// Drain the data block + END for framing hygiene.
+	for i := 0; i < 2; i++ {
+		if _, err := r.ReadString('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestApplyBatchSkipsUnsendableOps: ops the server is guaranteed to refuse
+// — an oversized value, or a key with whitespace / control characters /
+// over-length — are skipped client-side (zero-valued result) while every
+// other op in the batch — e.g. the unrelated invalidation deletes the bus
+// coalesced with them — still applies. Before the guard, the server aborted
+// the whole mop at the first such op and the deletes were silently lost.
+func TestApplyBatchSkipsUnsendableOps(t *testing.T) {
+	addr, store := rawServer(t)
+	store.Set("stale1", []byte("v"), 0)
+	store.Set("stale2", []byte("v"), 0)
+	pool := NewPool(addr, 2)
+	defer pool.Close()
+
+	res := pool.ApplyBatch([]kvcache.BatchOp{
+		{Kind: kvcache.BatchDelete, Key: "stale1"},
+		{Kind: kvcache.BatchSet, Key: "big", Value: make([]byte, maxValueBytes+1)},
+		{Kind: kvcache.BatchDelete, Key: "bad key"},
+		{Kind: kvcache.BatchDelete, Key: "ctl\x01key"},
+		{Kind: kvcache.BatchDelete, Key: ""},
+		{Kind: kvcache.BatchDelete, Key: strings.Repeat("k", maxKeyBytes+1)},
+		{Kind: kvcache.BatchDelete, Key: "stale2"},
+	})
+	if !res[0].Found || !res[6].Found {
+		t.Fatalf("deletes around the skipped ops did not apply: %+v", res)
+	}
+	for i := 1; i <= 5; i++ {
+		if res[i].Found {
+			t.Fatalf("unsendable op %d reported success: %+v", i, res)
+		}
+	}
+	if _, ok := store.Get("stale1"); ok {
+		t.Fatal("stale1 survived the batch")
+	}
+	if _, ok := store.Get("stale2"); ok {
+		t.Fatal("stale2 survived the batch")
+	}
+	if _, ok := store.Get("big"); ok {
+		t.Fatal("oversized value reached the store")
+	}
+	// The connection stayed framed and healthy.
+	if st := pool.Stats(); st.Discards != 0 {
+		t.Fatalf("healthy skip discarded the conn: %+v", st)
+	}
+	// All-unsendable batch: nothing is sent at all.
+	res = pool.ApplyBatch([]kvcache.BatchOp{
+		{Kind: kvcache.BatchSet, Key: "big2", Value: make([]byte, maxValueBytes+1)},
+	})
+	if res[0].Found {
+		t.Fatalf("all-unsendable batch reported success: %+v", res)
+	}
+}

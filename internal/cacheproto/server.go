@@ -110,9 +110,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the server and closes all connections.
+// Close stops the server and closes all connections. Safe to call more than
+// once; later calls just wait for the teardown to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	ln := s.ln
 	for c := range s.conns {
@@ -120,12 +122,30 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	var err error
-	if ln != nil {
+	if ln != nil && !wasClosed {
 		err = ln.Close()
 	}
 	s.acceptWG.Wait()
 	s.wg.Wait()
 	return err
+}
+
+// RestartServer builds a fresh Server over store and binds it to addr,
+// retrying the bind briefly because a just-closed listener's port can
+// linger. The store is flushed first: a revived node comes back cold, the
+// way a restarted process would. Shared by the revive paths (the workload
+// stack's ReviveNode and geniecache's failure drill).
+func RestartServer(store *kvcache.Store, addr string) (*Server, error) {
+	store.FlushAll()
+	srv := NewServer(store)
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		if _, err = srv.Listen(addr); err == nil {
+			return srv, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("cacheproto: restart server on %s: %w", addr, err)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -217,6 +237,13 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 			return false, err
 		}
 		ttl := time.Duration(expSecs) * time.Second
+		if expSecs < 0 {
+			// Memcached treats a negative exptime as already expired: the
+			// store replies STORED but the entry is never retrievable. The
+			// kvcache store treats ttl <= 0 as immortal, so translate to the
+			// smallest positive ttl — expired by the time anyone reads it.
+			ttl = time.Nanosecond
+		}
 		switch fields[0] {
 		case "set":
 			s.store.Set(key, data, ttl)
@@ -268,35 +295,42 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		}
 		return false, nil
 	case "mop":
+		// Every mop-context error closes the connection (quit=true): the
+		// client pipelines the whole batch in one flush, so after any abort
+		// the unread sub-commands are already in the stream and would be
+		// executed as top-level commands if the connection lived on.
 		if len(fields) != 2 {
-			return false, errors.New("mop needs a count")
+			return true, errors.New("mop needs a count")
 		}
 		count, err := strconv.Atoi(fields[1])
 		if err != nil || count < 0 {
-			return false, errors.New("bad mop count")
+			return true, errors.New("bad mop count")
 		}
 		if count > maxMopOps {
-			return false, fmt.Errorf("mop count %d exceeds limit %d", count, maxMopOps)
+			return true, fmt.Errorf("mop count %d exceeds limit %d", count, maxMopOps)
 		}
 		for i := 0; i < count; i++ {
 			line, err := r.ReadString('\n')
 			if err != nil {
-				return false, err
+				return true, err
 			}
 			sub := strings.Fields(strings.TrimRight(line, "\r\n"))
 			if len(sub) == 0 {
-				return false, errors.New("empty mop sub-command")
+				return true, errors.New("empty mop sub-command")
 			}
 			switch sub[0] {
 			case "set", "add", "delete", "incr":
-				// One result line each; errors abort the batch (the
-				// client generates sub-commands programmatically, so a
-				// malformed one means the stream is unframed anyway).
+				// One result line each; errors abort the batch AND the
+				// connection: the batch arrives as one pipelined flush, so
+				// after an abort the remaining sub-commands are already in
+				// the stream and indistinguishable from fresh top-level
+				// commands — executing them would apply ops from a batch the
+				// client was told failed. The client discards its end too.
 				if _, err := s.dispatch(sub, r, w); err != nil {
-					return false, err
+					return true, err
 				}
 			default:
-				return false, fmt.Errorf("command %q not allowed in mop", sub[0])
+				return true, fmt.Errorf("command %q not allowed in mop", sub[0])
 			}
 		}
 		w.WriteString("END\r\n")

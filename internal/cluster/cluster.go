@@ -20,8 +20,16 @@ const virtualNodes = 128
 
 // Ring is a consistent-hash ring of caches. It implements kvcache.Cache, so
 // the rest of the system cannot tell one server from many. Ring is immutable
-// after construction; rebuild to change membership.
+// after construction; Manager rebuilds one to change membership.
+//
+// Every node has a stable string identity, and vnode positions hash from
+// that identity — never from the node's index. That is what makes membership
+// change cheap: a node's positions depend only on its own id, so removing
+// one node deletes only its vnodes and only its ~1/N share of keys remaps.
+// (The original index-based scheme hashed "node-<i>-vn-<v>": removing node k
+// renumbered every successor, remapping keys on nodes that never moved.)
 type Ring struct {
+	ids    []string
 	nodes  []kvcache.Cache
 	hashes []uint64 // sorted ring positions
 	owner  []int    // owner[i] = node index for hashes[i]
@@ -29,15 +37,43 @@ type Ring struct {
 
 var _ kvcache.Cache = (*Ring)(nil)
 
-// NewRing builds a ring over the given caches (at least one).
+// NewRing builds a ring over the given caches (at least one), assigning the
+// default identities "node-0".."node-N-1" in order. Fine for a fixed
+// membership; callers that will add or remove nodes should use NewRingIDs
+// (or Manager) with identities that survive renumbering — a server address,
+// for instance.
 func NewRing(nodes []kvcache.Cache) (*Ring, error) {
+	ids := make([]string, len(nodes))
+	for i := range nodes {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	return NewRingIDs(ids, nodes)
+}
+
+// NewRingIDs builds a ring over the given caches with explicit stable node
+// identities. ids and nodes correspond by index; ids must be unique and
+// non-empty.
+func NewRingIDs(ids []string, nodes []kvcache.Cache) (*Ring, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one node")
 	}
-	r := &Ring{nodes: nodes}
-	for ni := range nodes {
+	if len(ids) != len(nodes) {
+		return nil, fmt.Errorf("cluster: %d ids for %d nodes", len(ids), len(nodes))
+	}
+	seen := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node id")
+		}
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+		seen[id] = struct{}{}
+	}
+	r := &Ring{ids: ids, nodes: nodes}
+	for ni, id := range ids {
 		for v := 0; v < virtualNodes; v++ {
-			h := hash64(fmt.Sprintf("node-%d-vn-%d", ni, v))
+			h := hash64(fmt.Sprintf("%s-vn-%d", id, v))
 			r.hashes = append(r.hashes, h)
 			r.owner = append(r.owner, ni)
 		}
@@ -87,6 +123,15 @@ func (r *Ring) pick(key string) kvcache.Cache { return r.nodes[r.NodeFor(key)] }
 
 // NumNodes reports ring membership size.
 func (r *Ring) NumNodes() int { return len(r.nodes) }
+
+// NodeID returns the stable identity of the node at index i.
+func (r *Ring) NodeID(i int) string { return r.ids[i] }
+
+// NodeIDs returns the stable identities in node-index order.
+func (r *Ring) NodeIDs() []string { return append([]string(nil), r.ids...) }
+
+// OwnerID returns the stable identity of the node owning key.
+func (r *Ring) OwnerID(key string) string { return r.ids[r.NodeFor(key)] }
 
 // Get implements kvcache.Cache.
 func (r *Ring) Get(key string) ([]byte, bool) { return r.pick(key).Get(key) }

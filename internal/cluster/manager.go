@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// Manager is a consistent-hash ring with live membership. It implements
+// kvcache.Cache and kvcache.BatchApplier exactly like Ring, but AddNode and
+// RemoveNode change membership while traffic flows: each mutation rebuilds
+// an immutable Ring under the write lock and swaps it in, and every
+// operation routes through the ring current at its start.
+//
+// Because vnode positions hash from stable node identities (see Ring), a
+// membership change of one node remaps only that node's ~1/N share of keys;
+// every other key keeps its owner. Remapped keys simply start cold on their
+// new node — the consistent-hashing bargain, no data migration.
+//
+// Operations already in flight when membership changes may still reach the
+// old owner; for a cache that is indistinguishable from a stale entry's
+// normal miss-and-repopulate cycle.
+//
+// Consistency caveat: a remapped key's copy on its old owner is not deleted
+// — and from then on invalidations route only to the new owner, so the old
+// copy is orphaned from trigger maintenance. If a LATER membership change
+// remaps the key back (a node leaving and rejoining twice, say), the
+// orphaned copy can resurface with a value from before the intervening
+// writes. Entries written with a TTL bound that staleness; entries without
+// one do not. Deployments that churn membership and need the trigger
+// guarantee should flush rejoining nodes (Stack.ReviveNode does) and flush
+// survivors — or cap TTLs — around repeated changes; key handoff that
+// deletes the remapped share from the old owner is the planned fix
+// (ROADMAP).
+type Manager struct {
+	mu    sync.RWMutex
+	ring  *Ring
+	ids   []string                 // membership in join order
+	nodes map[string]kvcache.Cache // id → cache
+}
+
+var (
+	_ kvcache.Cache        = (*Manager)(nil)
+	_ kvcache.BatchApplier = (*Manager)(nil)
+)
+
+// NewManager builds a mutable ring over the given caches with stable node
+// identities (see NewRingIDs for the constraints).
+func NewManager(ids []string, nodes []kvcache.Cache) (*Manager, error) {
+	ring, err := NewRingIDs(ids, nodes)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		ring:  ring,
+		ids:   append([]string(nil), ids...),
+		nodes: make(map[string]kvcache.Cache, len(ids)),
+	}
+	for i, id := range ids {
+		m.nodes[id] = nodes[i]
+	}
+	return m, nil
+}
+
+// Ring returns the current immutable ring snapshot. Routing decisions made
+// against it stay internally consistent even if membership changes after.
+func (m *Manager) Ring() *Ring {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ring
+}
+
+// NumNodes reports current membership size.
+func (m *Manager) NumNodes() int { return m.Ring().NumNodes() }
+
+// NodeIDs returns the current membership in join order.
+func (m *Manager) NodeIDs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.ids...)
+}
+
+// OwnerID returns the stable identity of the node currently owning key.
+func (m *Manager) OwnerID(key string) string { return m.Ring().OwnerID(key) }
+
+// Node returns the cache registered under id, if any.
+func (m *Manager) Node(id string) (kvcache.Cache, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.nodes[id]
+	return c, ok
+}
+
+// AddNode joins a node to the ring under a stable identity. Only the ~1/N
+// key share the new node's vnodes claim changes owner.
+func (m *Manager) AddNode(id string, c kvcache.Cache) error {
+	if c == nil {
+		return fmt.Errorf("cluster: nil cache for node %q", id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.nodes[id]; dup {
+		return fmt.Errorf("cluster: node %q already in the ring", id)
+	}
+	ids := append(append([]string(nil), m.ids...), id)
+	nodes := make([]kvcache.Cache, 0, len(ids))
+	for _, existing := range m.ids {
+		nodes = append(nodes, m.nodes[existing])
+	}
+	nodes = append(nodes, c)
+	ring, err := NewRingIDs(ids, nodes)
+	if err != nil {
+		return err
+	}
+	m.ids = ids
+	m.nodes[id] = c
+	m.ring = ring
+	return nil
+}
+
+// RemoveNode leaves id's node out of the ring; its ~1/N key share remaps to
+// the survivors and every other key keeps its owner. The last node cannot be
+// removed — a ring with no nodes cannot route.
+func (m *Manager) RemoveNode(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.nodes[id]; !ok {
+		return fmt.Errorf("cluster: node %q not in the ring", id)
+	}
+	if len(m.ids) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last node %q", id)
+	}
+	ids := make([]string, 0, len(m.ids)-1)
+	nodes := make([]kvcache.Cache, 0, len(m.ids)-1)
+	for _, existing := range m.ids {
+		if existing == id {
+			continue
+		}
+		ids = append(ids, existing)
+		nodes = append(nodes, m.nodes[existing])
+	}
+	ring, err := NewRingIDs(ids, nodes)
+	if err != nil {
+		return err
+	}
+	m.ids = ids
+	delete(m.nodes, id)
+	m.ring = ring
+	return nil
+}
+
+// Get implements kvcache.Cache.
+func (m *Manager) Get(key string) ([]byte, bool) { return m.Ring().Get(key) }
+
+// Gets implements kvcache.Cache.
+func (m *Manager) Gets(key string) ([]byte, uint64, bool) { return m.Ring().Gets(key) }
+
+// Set implements kvcache.Cache.
+func (m *Manager) Set(key string, value []byte, ttl time.Duration) {
+	m.Ring().Set(key, value, ttl)
+}
+
+// Add implements kvcache.Cache.
+func (m *Manager) Add(key string, value []byte, ttl time.Duration) bool {
+	return m.Ring().Add(key, value, ttl)
+}
+
+// Cas implements kvcache.Cache.
+func (m *Manager) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
+	return m.Ring().Cas(key, value, ttl, cas)
+}
+
+// Delete implements kvcache.Cache.
+func (m *Manager) Delete(key string) bool { return m.Ring().Delete(key) }
+
+// Incr implements kvcache.Cache.
+func (m *Manager) Incr(key string, delta int64) (int64, bool) { return m.Ring().Incr(key, delta) }
+
+// FlushAll implements kvcache.Cache.
+func (m *Manager) FlushAll() { m.Ring().FlushAll() }
+
+// ApplyBatch implements kvcache.BatchApplier: the whole batch routes through
+// one ring snapshot, so a concurrent membership change cannot split it
+// inconsistently.
+func (m *Manager) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
+	return m.Ring().ApplyBatch(ops)
+}

@@ -65,7 +65,11 @@ type Result struct {
 	// Found is true when a delete removed a live entry or an incr found a
 	// numeric entry; sets and executed CAS updates report true. An op
 	// coalesced away before flushing reports what a late synchronous call
-	// would have seen: false for deletes and incrs, true for sets.
+	// would have seen: false for deletes and incrs, true for sets. Note the
+	// OpCasUpdate corner of that contract: a CAS update superseded by a
+	// later Delete or Set on the same key is never executed, and its Done
+	// reports Found:false — "your read-modify-write did not run (and did not
+	// need to; its output was dead on arrival)", not an error.
 	Found bool
 	// Value is the post-increment value for OpIncr.
 	Value int64

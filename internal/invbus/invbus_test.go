@@ -381,3 +381,45 @@ func TestStatsCountQueueFullStalls(t *testing.T) {
 		t.Fatal("stalled op lost")
 	}
 }
+
+// TestSupersededCasUpdateDoneReportsNotFound pins the documented corner of
+// the Result contract: an OpCasUpdate superseded by a later Delete or Set on
+// the same key never executes, and its Done reports Found:false (the
+// read-modify-write did not run), while the superseding op completes
+// normally.
+func TestSupersededCasUpdateDoneReportsNotFound(t *testing.T) {
+	store := kvcache.New(0)
+	bus, release := stallBus(t, store, 1024)
+	defer bus.Close()
+
+	ran := false
+	var casRes, setRes Result
+	var casDone, setDone sync.WaitGroup
+	casDone.Add(1)
+	setDone.Add(1)
+	bus.Publish(Op{
+		Kind: OpCasUpdate, Key: "k",
+		Update: func(c kvcache.Cache) { ran = true },
+		Done:   func(r Result) { casRes = r; casDone.Done() },
+	})
+	bus.Publish(Op{
+		Kind: OpSet, Key: "k", Value: []byte("winner"),
+		Done: func(r Result) { setRes = r; setDone.Done() },
+	})
+	close(release)
+	bus.Flush()
+	casDone.Wait()
+	setDone.Wait()
+	if ran {
+		t.Fatal("superseded CAS update executed")
+	}
+	if casRes.Found {
+		t.Fatalf("superseded CAS update Done = %+v, want Found:false", casRes)
+	}
+	if !setRes.Found {
+		t.Fatalf("superseding set Done = %+v, want Found:true", setRes)
+	}
+	if v, ok := store.Get("k"); !ok || string(v) != "winner" {
+		t.Fatalf("k = %q, %v", v, ok)
+	}
+}

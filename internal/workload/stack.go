@@ -89,6 +89,17 @@ type StackConfig struct {
 	// PoolIdleConns bounds idle pooled connections per remote node
 	// (0 = cacheproto.DefaultPoolIdle).
 	PoolIdleConns int
+	// PoolMaxConns caps total connections per remote node, waiters queueing
+	// beyond it (0 = cacheproto.DefaultPoolMaxConns).
+	PoolMaxConns int
+	// BreakerThreshold is the consecutive-failure count that trips a remote
+	// node's circuit breaker (0 = cacheproto.DefaultFailThreshold; negative
+	// disables the breaker entirely — the pre-resilience dial-per-op
+	// behaviour, kept as the Experiment 8 baseline).
+	BreakerThreshold int
+	// ProbeInterval is the breaker's background probe cadence while open
+	// (0 = cacheproto.DefaultProbeInterval).
+	ProbeInterval time.Duration
 	// LatencyScale enables the paper-calibrated injected latency model,
 	// divided by the given factor (0 disables; 1 = paper-absolute;
 	// 10 = default experiment scale).
@@ -130,6 +141,11 @@ type Stack struct {
 	// then falls back to the wire-level stats command).
 	Stores []*kvcache.Store
 	Cache  kvcache.Cache
+	// Ring is the live-membership consistent-hash ring (nil with a single
+	// cache node). Node identities are server addresses with TransportRemote
+	// and "node-<i>" in-process; Experiment 8 drives RemoveNode/AddNode on
+	// it mid-run.
+	Ring *cluster.Manager
 	// Servers and Pools are populated by TransportRemote: the loopback
 	// cacheproto servers (nil with CacheAddrs) and the pooled client per
 	// node, in ring order.
@@ -199,14 +215,26 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 	if cfg.CacheNodes > 1 && perNode > 0 {
 		perNode = cfg.CacheBytes / int64(cfg.CacheNodes)
 	}
+	newPool := func(addr string) *cacheproto.Pool {
+		return cacheproto.NewPoolWithConfig(cacheproto.PoolConfig{
+			Addr:           addr,
+			MaxIdle:        cfg.PoolIdleConns,
+			MaxConns:       cfg.PoolMaxConns,
+			FailThreshold:  cfg.BreakerThreshold,
+			ProbeInterval:  cfg.ProbeInterval,
+			DisableBreaker: cfg.BreakerThreshold < 0,
+		})
+	}
 	var nodes []kvcache.Cache
+	var nodeIDs []string
 	switch {
 	case cfg.Transport == TransportRemote && len(cfg.CacheAddrs) > 0:
 		// Externally launched geniecache nodes (cmd/geniecache -nodes N).
 		for _, addr := range cfg.CacheAddrs {
-			pool := cacheproto.NewPool(addr, cfg.PoolIdleConns)
+			pool := newPool(addr)
 			st.Pools = append(st.Pools, pool)
 			nodes = append(nodes, pool)
+			nodeIDs = append(nodeIDs, addr)
 		}
 	case cfg.Transport == TransportRemote:
 		// Self-contained remote tier: one real cacheproto server per node on
@@ -219,28 +247,31 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 				st.Close()
 				return nil, fmt.Errorf("workload: cache node %d: %w", i, err)
 			}
-			pool := cacheproto.NewPool(addr, cfg.PoolIdleConns)
+			pool := newPool(addr)
 			st.Stores = append(st.Stores, store)
 			st.Servers = append(st.Servers, srv)
 			st.Pools = append(st.Pools, pool)
 			nodes = append(nodes, pool)
+			nodeIDs = append(nodeIDs, addr)
 		}
 	default:
 		for i := 0; i < cfg.CacheNodes; i++ {
 			store := kvcache.New(perNode)
 			st.Stores = append(st.Stores, store)
 			nodes = append(nodes, store)
+			nodeIDs = append(nodeIDs, fmt.Sprintf("node-%d", i))
 		}
 	}
 	var logical kvcache.Cache
 	if len(nodes) == 1 {
 		logical = nodes[0]
 	} else {
-		ring, err := cluster.NewRing(nodes)
+		ring, err := cluster.NewManager(nodeIDs, nodes)
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
+		st.Ring = ring
 		logical = ring
 	}
 	if len(cfg.CacheAddrs) > 0 {
@@ -286,25 +317,52 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 	return st, nil
 }
 
-// CacheStats aggregates stats across the stack's cache nodes. With external
-// remote nodes (no in-process stores) it falls back to the wire-level stats
-// command, which carries the subset of counters the protocol exports.
+// KillNode abruptly stops loopback cache node i: its listener closes and
+// every open connection is torn down, exactly what a crashed geniecache
+// process looks like from the client side. The node's pool stays in place —
+// routing still targets the dead node until the breaker trips or the ring
+// drops it. Only valid for self-launched TransportRemote stacks.
+func (s *Stack) KillNode(i int) error {
+	if i < 0 || i >= len(s.Servers) || s.Servers[i] == nil {
+		return fmt.Errorf("workload: no loopback server for node %d", i)
+	}
+	return s.Servers[i].Close()
+}
+
+// ReviveNode restarts a killed loopback node on its original address. The
+// node comes back cold (a restarted process has lost its memory), so hit
+// rate on its key share rebuilds from scratch — the honest recovery shape.
+func (s *Stack) ReviveNode(i int) error {
+	if i < 0 || i >= len(s.Servers) || s.Servers[i] == nil {
+		return fmt.Errorf("workload: no loopback server for node %d", i)
+	}
+	srv, err := cacheproto.RestartServer(s.Stores[i], s.Pools[i].Addr())
+	if err != nil {
+		return fmt.Errorf("workload: revive node %d: %w", i, err)
+	}
+	s.Servers[i] = srv
+	return nil
+}
+
+// CacheTierStats is the aggregate cache-node statistics plus tier health.
+type CacheTierStats struct {
+	kvcache.Stats
+	// UnreachableNodes counts nodes whose wire-level stats probe failed —
+	// before this existed a dead node silently dropped out of the aggregate,
+	// quietly undercounting hits, misses, and capacity.
+	UnreachableNodes int
+}
+
+// CacheStats aggregates counters across the stack's cache nodes. With
+// external remote nodes (no in-process stores) it falls back to the
+// wire-level stats command, which carries the subset of counters the
+// protocol exports; a node whose stats call fails contributes nothing here —
+// use CacheTierStats to see how many nodes that was. Loopback-remote stacks
+// aggregate the in-process store ends directly, with no wire traffic.
 func (s *Stack) CacheStats() kvcache.Stats {
 	var agg kvcache.Stats
 	if len(s.Stores) == 0 && len(s.Pools) > 0 {
-		for _, p := range s.Pools {
-			st, err := p.ServerStats()
-			if err != nil {
-				continue
-			}
-			agg.Hits += st["get_hits"]
-			agg.Misses += st["get_misses"]
-			agg.Sets += st["cmd_set"]
-			agg.Evictions += st["evictions"]
-			agg.Items += st["curr_items"]
-			agg.BytesUsed += st["bytes"]
-			agg.BytesLimit += st["limit_maxbytes"]
-		}
+		agg, _ = s.wireStats()
 		return agg
 	}
 	for _, st := range s.Stores {
@@ -321,4 +379,45 @@ func (s *Stack) CacheStats() kvcache.Stats {
 		agg.BytesLimit += x.BytesLimit
 	}
 	return agg
+}
+
+// CacheTierStats is CacheStats plus reachability: with any remote transport
+// every node is probed over the wire (one stats round trip each — only this
+// method pays that cost) and failures are counted instead of being silently
+// skipped. Counter aggregation still prefers the in-process store ends when
+// available (loopback nodes), which keep counting even while their listener
+// is down.
+func (s *Stack) CacheTierStats() CacheTierStats {
+	var agg CacheTierStats
+	if len(s.Stores) == 0 && len(s.Pools) > 0 {
+		agg.Stats, agg.UnreachableNodes = s.wireStats()
+		return agg
+	}
+	agg.Stats = s.CacheStats()
+	for _, p := range s.Pools {
+		if _, err := p.ServerStats(); err != nil {
+			agg.UnreachableNodes++
+		}
+	}
+	return agg
+}
+
+// wireStats aggregates the stats command across the pools, counting nodes
+// whose call failed.
+func (s *Stack) wireStats() (agg kvcache.Stats, unreachable int) {
+	for _, p := range s.Pools {
+		st, err := p.ServerStats()
+		if err != nil {
+			unreachable++
+			continue
+		}
+		agg.Hits += st["get_hits"]
+		agg.Misses += st["get_misses"]
+		agg.Sets += st["cmd_set"]
+		agg.Evictions += st["evictions"]
+		agg.Items += st["curr_items"]
+		agg.BytesUsed += st["bytes"]
+		agg.BytesLimit += st["limit_maxbytes"]
+	}
+	return agg, unreachable
 }
