@@ -489,6 +489,41 @@ func BenchmarkExp8NodeFailure(b *testing.B) {
 	}
 }
 
+// ---------- Experiment 9: single-node multi-core scaling ----------
+
+// BenchmarkExp9CoreScaling pits the 1-shard (single-mutex, global-LRU)
+// store against the lock-striped one at rising client concurrency, on the
+// in-process and real-TCP paths. Expected shape on a multi-core runner: the
+// baseline flatlines past ~1 core's worth of clients while the sharded
+// store keeps climbing (>=2x at 16+ clients); allocs/op stays ~0 for the
+// in-process mix thanks to the zero-allocation hot path. The sweep is also
+// written to BENCH_exp9.json (with GOMAXPROCS recorded — the curve can only
+// separate on a runner that has cores to scale over), which CI uploads as a
+// workflow artifact.
+func BenchmarkExp9CoreScaling(b *testing.B) {
+	opt := benchOpts()
+	var last workload.Exp9Result
+	var localSpeed, remoteSpeed float64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Exp9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+		clients := workload.Exp9Clients(true)
+		maxC := clients[len(clients)-1]
+		localSpeed += res.Speedup("local", maxC)
+		remoteSpeed += res.Speedup("remote", maxC)
+	}
+	b.ReportMetric(localSpeed/float64(b.N), "local-speedup")
+	b.ReportMetric(remoteSpeed/float64(b.N), "remote-speedup")
+	b.ReportMetric(float64(last.GOMAXPROCS), "gomaxprocs")
+	b.ReportMetric(0, "ns/op")
+	if err := workload.WriteExp9JSON("BENCH_exp9.json", last); err != nil {
+		b.Logf("BENCH_exp9.json not written: %v", err)
+	}
+}
+
 // ---------- Ablations (design choices from DESIGN.md) ----------
 
 // BenchmarkAblationTemplateInvalidation contrasts CacheGenie's key-granular

@@ -49,6 +49,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:11311", "listen address of the first node")
 	capacity := flag.Int64("capacity", 512<<20, "total cache capacity in bytes, split across nodes (0 = unbounded)")
 	nodes := flag.Int("nodes", 1, "number of cache nodes to launch on consecutive ports")
+	shards := flag.Int("shards", 0, "lock-stripe count per node (0 = auto: next pow2 >= 4x GOMAXPROCS; 1 = single-mutex baseline)")
 	killNode := flag.Int("kill-node", -1, "node index to kill for a failure drill (-1 = none)")
 	killAfter := flag.Duration("kill-after", 10*time.Second, "how long after startup to kill -kill-node")
 	reviveAfter := flag.Duration("revive-after", 0, "how long after the kill to revive the node cold on the same address (0 = stay dead)")
@@ -81,7 +82,7 @@ func main() {
 		if basePort != 0 {
 			port = basePort + i
 		}
-		stores[i] = kvcache.New(perNode)
+		stores[i] = kvcache.New(perNode, kvcache.WithShards(*shards))
 		servers[i] = cacheproto.NewServer(stores[i])
 		bound, err := servers[i].Listen(net.JoinHostPort(host, strconv.Itoa(port)))
 		if err != nil {

@@ -16,6 +16,7 @@
 //	genieload -experiment exp6           # sync vs async invalidation bus
 //	genieload -experiment exp7           # remote cache tier over real TCP
 //	genieload -experiment exp8           # node failure: breaker + live ring membership
+//	genieload -experiment exp9           # single-node multi-core scaling (sharded store)
 //	genieload -experiment micro          # §5.3 microbenchmarks
 //	genieload -experiment effort         # §5.2 programmer effort
 //	genieload -experiment ablation       # template-invalidation baseline
@@ -37,6 +38,11 @@
 // external tiers), measures the circuit breaker's fail-fast behaviour
 // against the pre-resilience dial storm, drops the dead node from the ring,
 // revives and rejoins it, and writes the timeline to BENCH_exp8.json.
+//
+// exp9 is the single-node scaling sweep: the 1-shard (single-mutex) store
+// against the lock-striped one at rising client concurrency, in-process and
+// over real TCP, written to BENCH_exp9.json. The -shards flag overrides the
+// stripe count for every OTHER experiment's cache nodes (0 = auto).
 package main
 
 import (
@@ -51,13 +57,14 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, micro, effort, ablation)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, exp9, micro, effort, ablation)")
 	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	async := flag.Bool("async", false, "route trigger cache maintenance through the async invalidation bus")
 	batchWindow := flag.Duration("batch-window", 0, "invalidation bus coalescing window (0 = bus default)")
 	transportFlag := flag.String("transport", "inprocess", "cache transport: inprocess or remote (real TCP cacheproto nodes)")
 	cacheAddrs := flag.String("cache-addrs", "", "comma-separated geniecache addresses for -transport remote (empty = launch loopback nodes)")
+	shards := flag.Int("shards", 0, "cache-node lock-stripe count (0 = auto: next pow2 >= 4x GOMAXPROCS; 1 = unsharded baseline)")
 	flag.Parse()
 
 	transport, err := workload.ParseTransport(*transportFlag)
@@ -75,7 +82,7 @@ func main() {
 	opt := workload.ExpOptions{
 		LatencyScale: *scale, Quick: *quick, Out: os.Stdout,
 		Async: *async, BatchWindow: *batchWindow,
-		Transport: transport, CacheAddrs: addrs,
+		Transport: transport, CacheAddrs: addrs, Shards: *shards,
 	}
 	run := func(name string, fn func() error) {
 		fmt.Printf("\n== %s ==\n", name)
@@ -205,6 +212,20 @@ func main() {
 				return err
 			}
 			fmt.Println("timeline written to BENCH_exp8.json")
+			return nil
+		})
+	}
+	if all || *experiment == "exp9" {
+		matched = true
+		run("Experiment 9: single-node multi-core scaling (lock-striped store)", func() error {
+			res, err := workload.Exp9(opt)
+			if err != nil {
+				return err
+			}
+			if err := workload.WriteExp9JSON("BENCH_exp9.json", res); err != nil {
+				return err
+			}
+			fmt.Println("sweep written to BENCH_exp9.json")
 			return nil
 		})
 	}

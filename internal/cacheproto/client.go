@@ -2,12 +2,12 @@ package cacheproto
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -17,27 +17,56 @@ import (
 // Client speaks the text protocol to one cache server over a single TCP
 // connection. It implements kvcache.Cache and is safe for concurrent use
 // (operations serialize on the connection).
+//
+// Requests are assembled into a reusable per-client buffer with
+// strconv.Append* and responses are parsed in place from the read buffer,
+// so the request path does not allocate; only fetched values do (they are
+// returned to the caller and must survive the next operation).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-	addr string
+	mu        sync.Mutex
+	conn      net.Conn
+	r         *bufio.Reader
+	w         *bufio.Writer
+	addr      string
+	opTimeout time.Duration
+	broken    bool // an exchange died mid-stream; the framing is gone
+
+	wbuf   []byte   // request build buffer
+	line   []byte   // overflow line assembly
+	fields [][]byte // response field headers
 }
 
 var _ kvcache.Cache = (*Client)(nil)
 
 // Dial connects to a cache server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects to a cache server and arms every subsequent
+// operation with a connection deadline: a round trip that has not completed
+// within opTimeout fails with a timeout error instead of blocking forever.
+// A node that accepts connections but never answers — wedged process, black-
+// holed network — then degrades to misses and feeds the pool's circuit
+// breaker rather than pinning the caller. opTimeout 0 disables deadlines.
+func DialTimeout(addr string, opTimeout time.Duration) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if opTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, opTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cacheproto: dial %s: %w", addr, err)
 	}
 	return &Client{
-		conn: conn,
-		r:    bufio.NewReader(conn),
-		w:    bufio.NewWriter(conn),
-		addr: addr,
+		conn:      conn,
+		r:         bufio.NewReader(conn),
+		w:         bufio.NewWriter(conn),
+		addr:      addr,
+		opTimeout: opTimeout,
+		fields:    make([][]byte, 0, 8),
 	}, nil
 }
 
@@ -48,78 +77,132 @@ func (c *Client) Addr() string { return c.addr }
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "quit\r\n")
-	_ = c.w.Flush()
+	if !c.broken {
+		c.w.WriteString("quit\r\n")
+		_ = c.w.Flush()
+	}
 	return c.conn.Close()
 }
 
-func ttlSeconds(ttl time.Duration) int {
+// armDeadline sets the per-operation connection deadline. Caller holds c.mu.
+func (c *Client) armDeadline() {
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
+}
+
+var errClientBroken = errors.New("cacheproto: connection broken by an earlier failed exchange")
+
+// fail poisons the connection after an exchange died mid-stream (I/O error,
+// timeout, unparseable response): the framing is gone, so a later operation
+// could read the dead exchange's late-arriving bytes as its own response —
+// a timed-out Get's value coming back as a HIT for a different key. Every
+// subsequent operation fails fast instead. The Pool never needs this (it
+// discards errored conns), but a bare Client must degrade to misses, never
+// to wrong answers. Caller holds c.mu; the error passes through.
+func (c *Client) fail(err error) error {
+	if err != nil && !c.broken {
+		c.broken = true
+		_ = c.conn.Close()
+	}
+	return err
+}
+
+func ttlSeconds(ttl time.Duration) int64 {
 	if ttl <= 0 {
 		return 0
 	}
-	secs := int(ttl / time.Second)
+	secs := int64(ttl / time.Second)
 	if secs == 0 {
 		secs = 1
 	}
 	return secs
 }
 
-// roundTrip sends one command (with optional data block) and returns the
-// first response line.
-func (c *Client) roundTrip(cmd string, data []byte) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.w.WriteString(cmd)
-	c.w.WriteString("\r\n")
+// readLine returns the next response line with \r\n trimmed. The slice
+// points into the read buffer (or c.line) and is valid until the next read.
+func (c *Client) readLine() ([]byte, error) {
+	return readProtoLine(c.r, &c.line)
+}
+
+// cmd starts a fresh request in the build buffer.
+func (c *Client) cmd() []byte { return c.wbuf[:0] }
+
+// sendLine writes the built command line (plus optional data block) and
+// flushes. Caller holds c.mu.
+func (c *Client) sendLine(b []byte, data []byte) error {
+	b = append(b, '\r', '\n')
+	c.wbuf = b
+	c.w.Write(b)
 	if data != nil {
 		c.w.Write(data)
 		c.w.WriteString("\r\n")
 	}
-	if err := c.w.Flush(); err != nil {
-		return "", err
+	return c.w.Flush()
+}
+
+// roundTrip sends the built command and returns the first response line.
+// Caller holds c.mu; the returned slice is valid until the next read.
+func (c *Client) roundTrip(b []byte, data []byte) ([]byte, error) {
+	if c.broken {
+		return nil, errClientBroken
 	}
-	line, err := c.r.ReadString('\n')
+	c.armDeadline()
+	if err := c.sendLine(b, data); err != nil {
+		return nil, c.fail(err)
+	}
+	line, err := c.readLine()
 	if err != nil {
-		return "", err
+		return nil, c.fail(err)
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	return line, nil
 }
 
 // fetch runs get/gets and parses VALUE blocks. It takes c.mu itself —
 // callers must NOT hold it.
-func (c *Client) fetch(cmd, key string) (val []byte, cas uint64, found bool, err error) {
+func (c *Client) fetch(withCas bool, key string) (val []byte, cas uint64, found bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "%s %s\r\n", cmd, key)
-	if err := c.w.Flush(); err != nil {
-		return nil, 0, false, err
+	if c.broken {
+		return nil, 0, false, errClientBroken
+	}
+	c.armDeadline()
+	b := c.cmd()
+	if withCas {
+		b = append(b, "gets "...)
+	} else {
+		b = append(b, "get "...)
+	}
+	b = append(b, key...)
+	if err := c.sendLine(b, nil); err != nil {
+		return nil, 0, false, c.fail(err)
 	}
 	for {
-		line, err := c.r.ReadString('\n')
+		line, err := c.readLine()
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, c.fail(err)
 		}
-		line = strings.TrimRight(line, "\r\n")
-		if line == "END" {
+		if string(line) == "END" {
 			return val, cas, found, nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 4 || fields[0] != "VALUE" {
-			return nil, 0, false, fmt.Errorf("cacheproto: bad response line %q", line)
+		fields := splitFields(line, c.fields[:0])
+		c.fields = fields[:0]
+		if len(fields) < 4 || string(fields[0]) != "VALUE" {
+			return nil, 0, false, c.fail(fmt.Errorf("cacheproto: bad response line %q", line))
 		}
-		n, err := strconv.Atoi(fields[3])
-		if err != nil {
-			return nil, 0, false, fmt.Errorf("cacheproto: bad length in %q", line)
+		n, ok := atoi(fields[3])
+		if !ok || n < 0 {
+			return nil, 0, false, c.fail(fmt.Errorf("cacheproto: bad length in %q", line))
 		}
 		if len(fields) >= 5 {
-			cas, err = strconv.ParseUint(fields[4], 10, 64)
-			if err != nil {
-				return nil, 0, false, fmt.Errorf("cacheproto: bad cas in %q", line)
+			cas, ok = atou(fields[4])
+			if !ok {
+				return nil, 0, false, c.fail(fmt.Errorf("cacheproto: bad cas in %q", line))
 			}
 		}
 		buf := make([]byte, n+2)
 		if _, err := io.ReadFull(c.r, buf); err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, c.fail(err)
 		}
 		val = buf[:n]
 		found = true
@@ -129,7 +212,7 @@ func (c *Client) fetch(cmd, key string) (val []byte, cas uint64, found bool, err
 // Get implements kvcache.Cache. Network errors surface as misses; callers
 // fall back to the database, which is the correct degraded behaviour.
 func (c *Client) Get(key string) ([]byte, bool) {
-	v, _, ok, err := c.fetch("get", key)
+	v, _, ok, err := c.fetch(false, key)
 	if err != nil {
 		return nil, false
 	}
@@ -138,16 +221,30 @@ func (c *Client) Get(key string) ([]byte, bool) {
 
 // Gets implements kvcache.Cache.
 func (c *Client) Gets(key string) ([]byte, uint64, bool) {
-	v, cas, ok, err := c.fetch("gets", key)
+	v, cas, ok, err := c.fetch(true, key)
 	if err != nil {
 		return nil, 0, false
 	}
 	return v, cas, ok
 }
 
+// appendStoreCmd builds "<verb> <key> 0 <exptime> <bytes>[ <cas>]".
+func (c *Client) appendStoreCmd(b []byte, verb, key string, ttl time.Duration, size int) []byte {
+	b = append(b, verb...)
+	b = append(b, ' ')
+	b = append(b, key...)
+	b = append(b, " 0 "...)
+	b = strconv.AppendInt(b, ttlSeconds(ttl), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(size), 10)
+	return b
+}
+
 // set is Set with the connection error exposed (for the Pool).
 func (c *Client) set(key string, value []byte, ttl time.Duration) error {
-	_, err := c.roundTrip(fmt.Sprintf("set %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(c.appendStoreCmd(c.cmd(), "set", key, ttl, len(value)), value)
 	return err
 }
 
@@ -158,8 +255,10 @@ func (c *Client) Set(key string, value []byte, ttl time.Duration) {
 
 // add is Add with the connection error exposed (for the Pool).
 func (c *Client) add(key string, value []byte, ttl time.Duration) (bool, error) {
-	line, err := c.roundTrip(fmt.Sprintf("add %s 0 %d %d", key, ttlSeconds(ttl), len(value)), value)
-	return err == nil && line == "STORED", err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	line, err := c.roundTrip(c.appendStoreCmd(c.cmd(), "add", key, ttl, len(value)), value)
+	return err == nil && string(line) == "STORED", err
 }
 
 // Add implements kvcache.Cache.
@@ -170,12 +269,16 @@ func (c *Client) Add(key string, value []byte, ttl time.Duration) bool {
 
 // cas is Cas with the connection error exposed (for the Pool).
 func (c *Client) cas(key string, value []byte, ttl time.Duration, cas uint64) (kvcache.CasResult, error) {
-	line, err := c.roundTrip(
-		fmt.Sprintf("cas %s 0 %d %d %d", key, ttlSeconds(ttl), len(value), cas), value)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.appendStoreCmd(c.cmd(), "cas", key, ttl, len(value))
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, cas, 10)
+	line, err := c.roundTrip(b, value)
 	if err != nil {
 		return kvcache.CasNotFound, err
 	}
-	switch line {
+	switch string(line) {
 	case "STORED":
 		return kvcache.CasStored, nil
 	case "EXISTS":
@@ -193,8 +296,12 @@ func (c *Client) Cas(key string, value []byte, ttl time.Duration, cas uint64) kv
 
 // del is Delete with the connection error exposed (for the Pool).
 func (c *Client) del(key string) (bool, error) {
-	line, err := c.roundTrip("delete "+key, nil)
-	return err == nil && line == "DELETED", err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := append(c.cmd(), "delete "...)
+	b = append(b, key...)
+	line, err := c.roundTrip(b, nil)
+	return err == nil && string(line) == "DELETED", err
 }
 
 // Delete implements kvcache.Cache.
@@ -205,15 +312,21 @@ func (c *Client) Delete(key string) bool {
 
 // incr is Incr with the connection error exposed (for the Pool).
 func (c *Client) incr(key string, delta int64) (int64, bool, error) {
-	line, err := c.roundTrip(fmt.Sprintf("incr %s %d", key, delta), nil)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := append(c.cmd(), "incr "...)
+	b = append(b, key...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, delta, 10)
+	line, err := c.roundTrip(b, nil)
 	if err != nil {
 		return 0, false, err
 	}
-	if line == "NOT_FOUND" || strings.HasPrefix(line, "CLIENT_ERROR") {
+	if string(line) == "NOT_FOUND" || bytes.HasPrefix(line, []byte("CLIENT_ERROR")) {
 		return 0, false, nil
 	}
-	n, perr := strconv.ParseInt(line, 10, 64)
-	if perr != nil {
+	n, ok := atoi(line)
+	if !ok {
 		return 0, false, nil
 	}
 	return n, true, nil
@@ -227,7 +340,9 @@ func (c *Client) Incr(key string, delta int64) (int64, bool) {
 
 // flushAll is FlushAll with the connection error exposed (for the Pool).
 func (c *Client) flushAll() error {
-	_, err := c.roundTrip("flush_all", nil)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.roundTrip(append(c.cmd(), "flush_all"...), nil)
 	return err
 }
 
@@ -277,55 +392,73 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "mop %d\r\n", len(send))
+	if c.broken {
+		return out, errClientBroken
+	}
+	c.armDeadline()
+	b := append(c.cmd(), "mop "...)
+	b = strconv.AppendInt(b, int64(len(send)), 10)
+	b = append(b, '\r', '\n')
+	c.w.Write(b)
 	for _, i := range send {
-		op := ops[i]
+		op := &ops[i]
+		b = c.wbuf[:0]
 		switch op.Kind {
 		case kvcache.BatchSet:
-			fmt.Fprintf(c.w, "set %s 0 %d %d\r\n", op.Key, ttlSeconds(op.TTL), len(op.Value))
+			b = c.appendStoreCmd(b, "set", op.Key, op.TTL, len(op.Value))
+			b = append(b, '\r', '\n')
+			c.w.Write(b)
 			c.w.Write(op.Value)
 			c.w.WriteString("\r\n")
 		case kvcache.BatchIncr:
-			fmt.Fprintf(c.w, "incr %s %d\r\n", op.Key, op.Delta)
+			b = append(b, "incr "...)
+			b = append(b, op.Key...)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, op.Delta, 10)
+			b = append(b, '\r', '\n')
+			c.w.Write(b)
 		default:
-			fmt.Fprintf(c.w, "delete %s\r\n", op.Key)
+			b = append(b, "delete "...)
+			b = append(b, op.Key...)
+			b = append(b, '\r', '\n')
+			c.w.Write(b)
 		}
+		c.wbuf = b
 	}
 	if err := c.w.Flush(); err != nil {
-		return out, err
+		return out, c.fail(err)
 	}
 	for n, i := range send {
-		line, err := c.r.ReadString('\n')
+		line, err := c.readLine()
 		if err != nil {
-			return out, err
+			return out, c.fail(err)
 		}
-		line = strings.TrimRight(line, "\r\n")
 		if isErrorLine(line) {
 			// The server aborted the batch: it sent this error line instead
 			// of the remaining results and the trailing END, so the stream is
 			// unframed from here. Surface an error so the Pool discards the
 			// connection rather than parsing the error as an op result (a
 			// delete would read it as not-found) and then hanging on END.
-			return out, fmt.Errorf("cacheproto: mop aborted at op %d: %s", n, line)
+			return out, c.fail(fmt.Errorf("cacheproto: mop aborted at op %d: %s", n, line))
 		}
 		switch ops[i].Kind {
 		case kvcache.BatchSet:
-			out[i] = kvcache.BatchResult{Found: line == "STORED"}
+			out[i] = kvcache.BatchResult{Found: string(line) == "STORED"}
 		case kvcache.BatchIncr:
-			if n, perr := strconv.ParseInt(line, 10, 64); perr == nil {
+			if n, ok := atoi(line); ok {
 				out[i] = kvcache.BatchResult{Found: true, Value: n}
 			}
 		default:
-			out[i] = kvcache.BatchResult{Found: line == "DELETED"}
+			out[i] = kvcache.BatchResult{Found: string(line) == "DELETED"}
 		}
 	}
 	// Trailing END frames the batch response.
-	line, err := c.r.ReadString('\n')
+	line, err := c.readLine()
 	if err != nil {
-		return out, err
+		return out, c.fail(err)
 	}
-	if strings.TrimRight(line, "\r\n") != "END" {
-		return out, fmt.Errorf("cacheproto: mop response unframed: %q", line)
+	if string(line) != "END" {
+		return out, c.fail(fmt.Errorf("cacheproto: mop response unframed: %q", line))
 	}
 	return out, nil
 }
@@ -333,10 +466,10 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 // isErrorLine reports whether a response line is one of the protocol's error
 // replies (memcached's ERROR / CLIENT_ERROR msg / SERVER_ERROR msg), which
 // can replace a result line mid-batch when the server aborts.
-func isErrorLine(line string) bool {
-	return line == "ERROR" ||
-		strings.HasPrefix(line, "CLIENT_ERROR") ||
-		strings.HasPrefix(line, "SERVER_ERROR")
+func isErrorLine(line []byte) bool {
+	return string(line) == "ERROR" ||
+		bytes.HasPrefix(line, []byte("CLIENT_ERROR")) ||
+		bytes.HasPrefix(line, []byte("SERVER_ERROR"))
 }
 
 // maxKeyBytes is memcached's classic key-length bound.
@@ -362,28 +495,31 @@ func validKey(key string) bool {
 func (c *Client) ServerStats() (map[string]int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fmt.Fprintf(c.w, "stats\r\n")
-	if err := c.w.Flush(); err != nil {
-		return nil, err
+	if c.broken {
+		return nil, errClientBroken
+	}
+	c.armDeadline()
+	if err := c.sendLine(append(c.cmd(), "stats"...), nil); err != nil {
+		return nil, c.fail(err)
 	}
 	out := map[string]int64{}
 	for {
-		line, err := c.r.ReadString('\n')
+		line, err := c.readLine()
 		if err != nil {
-			return nil, err
+			return nil, c.fail(err)
 		}
-		line = strings.TrimRight(line, "\r\n")
-		if line == "END" {
+		if string(line) == "END" {
 			return out, nil
 		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 || fields[0] != "STAT" {
-			return nil, errors.New("cacheproto: bad stats line " + line)
+		fields := splitFields(line, c.fields[:0])
+		c.fields = fields[:0]
+		if len(fields) != 3 || string(fields[0]) != "STAT" {
+			return nil, c.fail(errors.New("cacheproto: bad stats line " + string(line)))
 		}
-		n, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
-			return nil, err
+		n, ok := atoi(fields[2])
+		if !ok {
+			return nil, c.fail(fmt.Errorf("cacheproto: bad stats value %q", line))
 		}
-		out[fields[1]] = n
+		out[string(fields[1])] = n
 	}
 }

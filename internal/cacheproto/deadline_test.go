@@ -1,0 +1,161 @@
+package cacheproto
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stallingServer accepts connections and then goes silent: it reads and
+// discards whatever the client sends but never writes a byte back — the
+// wedged-process shape the breaker alone cannot see, because a hung round
+// trip never completes to count as a failure.
+func stallingServer(t *testing.T) (addr string, accepted *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	accepted = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), accepted
+}
+
+// TestClientTimeoutPoisonsConnection: after an op deadline expires, the
+// connection's framing is unknown — a late-arriving response for the dead
+// op must never be read as a later op's answer (a HIT carrying the wrong
+// key's value). The client must poison itself and degrade every later op
+// to a fast miss.
+func TestClientTimeoutPoisonsConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		// Answer the first request long after the client's deadline.
+		time.Sleep(250 * time.Millisecond)
+		_, _ = conn.Write([]byte("VALUE a 0 7\r\npoisons\r\nEND\r\n"))
+	}()
+	c, err := DialTimeout(ln.Addr().String(), 40*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("timed-out Get reported a hit")
+	}
+	time.Sleep(300 * time.Millisecond) // let the stale response arrive
+	start := time.Now()
+	v, ok := c.Get("b")
+	if ok {
+		t.Fatalf("Get(b) on a poisoned conn returned a hit: %q (key a's stale value?)", v)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("poisoned-conn op took %v, want fail-fast", elapsed)
+	}
+}
+
+// TestClientOpTimeout: a round trip against a node that accepts but never
+// answers must fail within the deadline instead of blocking forever.
+func TestClientOpTimeout(t *testing.T) {
+	addr, _ := stallingServer(t)
+	c, err := DialTimeout(addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.conn.Close()
+	start := time.Now()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stalled Get reported a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stalled Get took %v, want ~50ms", elapsed)
+	}
+}
+
+// TestPoolOpTimeoutFeedsBreaker: with OpTimeout armed, ops against a
+// stalling node time out, release their checkout slot (MaxConns=1 would
+// otherwise deadlock the second op forever), and the accumulated failures
+// trip the circuit breaker just as completed failures do.
+func TestPoolOpTimeoutFeedsBreaker(t *testing.T) {
+	addr, _ := stallingServer(t)
+	pool := NewPoolWithConfig(PoolConfig{
+		Addr:          addr,
+		MaxIdle:       1,
+		MaxConns:      1, // one slot: a held checkout blocks everyone else
+		FailThreshold: 2,
+		ProbeInterval: time.Hour, // keep the breaker open for the assertion
+		OpTimeout:     40 * time.Millisecond,
+	})
+	defer pool.Close()
+
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if _, ok := pool.Get("k"); ok {
+			t.Fatalf("op %d: stalled Get reported a hit", i)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("two stalled ops took %v; timeout did not release the slot", elapsed)
+	}
+	if st := pool.Stats(); st.State != BreakerOpen {
+		t.Fatalf("breaker after %d timeouts: %+v", 2, st)
+	}
+	if st := pool.Stats(); st.Discards != 2 {
+		t.Fatalf("timed-out conns not discarded: %+v", st)
+	}
+	// Breaker open: the next op fails fast without a network touch.
+	start = time.Now()
+	if _, ok := pool.Get("k"); ok {
+		t.Fatal("open-breaker Get reported a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("fail-fast took %v", elapsed)
+	}
+}
+
+// TestPoolOpTimeoutHealthyTraffic: deadlines must be invisible on a healthy
+// node — every op completes and connections are reused, not discarded.
+func TestPoolOpTimeoutHealthyTraffic(t *testing.T) {
+	addr, _ := rawServer(t)
+	pool := NewPoolWithConfig(PoolConfig{Addr: addr, OpTimeout: 2 * time.Second})
+	defer pool.Close()
+	for i := 0; i < 20; i++ {
+		pool.Set("k", []byte("v"), 0)
+		if _, ok := pool.Get("k"); !ok {
+			t.Fatalf("op %d missed on a healthy node", i)
+		}
+	}
+	if st := pool.Stats(); st.Discards != 0 || st.Trips != 0 {
+		t.Fatalf("healthy traffic under deadline: %+v", st)
+	}
+}

@@ -77,6 +77,12 @@ type PoolConfig struct {
 	// ProbeInterval is the background probe cadence while the breaker is
 	// open (<= 0 picks DefaultProbeInterval).
 	ProbeInterval time.Duration
+	// OpTimeout, when positive, bounds every dial and every round trip on
+	// pooled connections with a connection deadline. A node that accepts but
+	// never answers then times out, releasing its checkout slot and feeding
+	// the breaker, instead of holding the slot forever (the breaker only
+	// sees completed failures). 0 disables deadlines.
+	OpTimeout time.Duration
 	// DisableBreaker keeps the pre-breaker behaviour: every operation
 	// against a dead node attempts a fresh dial. Used as the Experiment 8
 	// baseline; production callers should leave it false.
@@ -273,7 +279,7 @@ func (p *Pool) get() (*Client, error) {
 		p.cond.Wait()
 	}
 	p.mu.Unlock()
-	c, err := Dial(p.cfg.Addr)
+	c, err := DialTimeout(p.cfg.Addr, p.cfg.OpTimeout)
 	if err != nil {
 		p.dialFails.Add(1)
 		p.mu.Lock()
@@ -399,7 +405,7 @@ func (p *Pool) probeLoop() {
 // accepting connections and speaking the protocol, not merely listening.
 // Returns the healthy connection, or nil.
 func (p *Pool) probe() *Client {
-	c, err := Dial(p.cfg.Addr)
+	c, err := DialTimeout(p.cfg.Addr, p.cfg.OpTimeout)
 	if err != nil {
 		return nil
 	}
@@ -417,7 +423,7 @@ func (p *Pool) Get(key string) ([]byte, bool) {
 	if err != nil {
 		return nil, false
 	}
-	v, _, ok, err := c.fetch("get", key)
+	v, _, ok, err := c.fetch(false, key)
 	p.put(c, err)
 	if err != nil {
 		return nil, false
@@ -431,7 +437,7 @@ func (p *Pool) Gets(key string) ([]byte, uint64, bool) {
 	if err != nil {
 		return nil, 0, false
 	}
-	v, cas, ok, err := c.fetch("gets", key)
+	v, cas, ok, err := c.fetch(true, key)
 	p.put(c, err)
 	if err != nil {
 		return nil, 0, false

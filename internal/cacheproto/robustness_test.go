@@ -112,6 +112,21 @@ func TestServerMalformedInput(t *testing.T) {
 			send:       "set k 0 0 2\r\nhiXX",
 			wantPrefix: "CLIENT_ERROR",
 		},
+		{
+			// The refusal must come AFTER the announced data block is
+			// consumed; an early return would leave the payload in the
+			// stream to run as top-level commands (a payload of
+			// "flush_all\r\n" would wipe the store).
+			name:       "bad cas id keeps framing",
+			send:       "cas k 0 0 11 notanumber\r\nflush_all\r\n\r\n",
+			wantPrefix: "CLIENT_ERROR",
+			followUp:   "set ok3 0 0 2\r\nhi\r\n", wantFollowUpOK: true,
+		},
+		{
+			name:       "wrapping byte count",
+			send:       "set k 0 0 18446744073709551616\r\n",
+			wantPrefix: "CLIENT_ERROR",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

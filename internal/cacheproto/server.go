@@ -26,6 +26,13 @@
 //
 // The server buffers one result line per sub-command and flushes them with a
 // trailing END\r\n, so the whole batch costs one network round trip.
+//
+// The request path is allocation-free in steady state: command lines are
+// read with a reusable buffer and split into byte-slice fields in place,
+// value data lands in a per-connection buffer the store copies from, reads
+// append into a per-connection scratch buffer, and responses are assembled
+// with strconv.Append* instead of fmt. Combined with the store's []byte-key
+// entry points, a get or an overwrite set performs zero heap allocations.
 package cacheproto
 
 import (
@@ -33,9 +40,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +58,10 @@ const maxValueBytes = 1 << 20
 // maxMopOps bounds one pipelined batch. The invalidation bus flushes far
 // smaller batches; anything larger is a protocol error, not a workload.
 const maxMopOps = 1 << 16
+
+// retainedValueBuf caps the per-connection value buffer kept between
+// requests; a one-off near-limit value doesn't pin its memory forever.
+const retainedValueBuf = 64 << 10
 
 // Server serves the text protocol for a Store.
 type Server struct {
@@ -148,93 +159,286 @@ func RestartServer(store *kvcache.Store, addr string) (*Server, error) {
 	return nil, fmt.Errorf("cacheproto: restart server on %s: %w", addr, err)
 }
 
+// serverConn is one connection's request-processing state: every buffer a
+// request needs lives here and is reused across requests, so the hot path
+// allocates nothing after the first few commands.
+type serverConn struct {
+	store *kvcache.Store
+	r     *bufio.Reader
+	w     *bufio.Writer
+
+	line      []byte   // overflow line assembly (lines longer than the bufio buffer)
+	fields    [][]byte // reusable field-slice headers
+	subFields [][]byte // separate header buffer for mop sub-commands
+	key       []byte   // key copy surviving the data-block read
+	val       []byte   // data-block buffer (set/add/cas payloads)
+	scratch   []byte   // value bytes fetched from the store (get/gets)
+	num       []byte   // strconv.Append* staging
+}
+
+// newServerConn assembles the per-connection state over a reader/writer
+// pair. Split from serveConn so in-package benchmarks can drive the
+// dispatch loop without a socket.
+func (s *Server) newServerConn(r *bufio.Reader, w *bufio.Writer) *serverConn {
+	return &serverConn{
+		store:     s.store,
+		r:         r,
+		w:         w,
+		fields:    make([][]byte, 0, 8),
+		subFields: make([][]byte, 0, 8),
+		num:       make([]byte, 0, 24),
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	c := s.newServerConn(bufio.NewReader(conn), bufio.NewWriter(conn))
 	for {
-		line, err := r.ReadString('\n')
-		if err != nil {
-			return
-		}
-		line = strings.TrimRight(line, "\r\n")
-		if line == "" {
-			continue
-		}
-		fields := strings.Fields(line)
-		quit, err := s.dispatch(fields, r, w)
-		if err != nil {
-			fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", err)
-		}
-		if err := w.Flush(); err != nil || quit {
+		if !c.serveOne() {
 			return
 		}
 	}
 }
 
-func (s *Server) readData(r *bufio.Reader, n int) ([]byte, error) {
-	data := make([]byte, n+2)
-	if _, err := io.ReadFull(r, data); err != nil {
+// serveOne processes one command; reports whether the connection lives on.
+func (c *serverConn) serveOne() bool {
+	line, err := c.readLine()
+	if err != nil {
+		return false
+	}
+	if len(line) == 0 {
+		return true
+	}
+	fields := splitFields(line, c.fields[:0])
+	c.fields = fields[:0] // keep a grown header buffer for reuse
+	quit, err := c.dispatch(fields)
+	if err != nil {
+		fmt.Fprintf(c.w, "CLIENT_ERROR %s\r\n", err)
+	}
+	if err := c.w.Flush(); err != nil || quit {
+		return false
+	}
+	return true
+}
+
+// readLine returns the next line with its \r\n trimmed. The returned slice
+// points into the reader's buffer (or c.line for oversized lines) and is
+// valid until the next read from c.r.
+func (c *serverConn) readLine() ([]byte, error) {
+	return readProtoLine(c.r, &c.line)
+}
+
+// readProtoLine reads one \n-terminated line from r without allocating: the
+// returned slice points into r's buffer, or into *scratch when the line
+// outgrew it (rare slow path, assembled across ReadSlice calls). Shared by
+// the server and client connection loops; valid until the next read from r.
+func readProtoLine(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		*scratch = append((*scratch)[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = r.ReadSlice('\n')
+			*scratch = append(*scratch, line...)
+		}
+		line = *scratch
+	}
+	if err != nil {
 		return nil, err
 	}
-	if data[n] != '\r' || data[n+1] != '\n' {
-		return nil, errors.New("bad data chunk terminator")
-	}
-	return data[:n], nil
+	return trimCRLF(line), nil
 }
 
-func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
-	switch fields[0] {
+func trimCRLF(line []byte) []byte {
+	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+		line = line[:len(line)-1]
+	}
+	return line
+}
+
+// splitFields splits line on runs of spaces and tabs into dst (reused
+// between calls), the in-place equivalent of strings.Fields.
+func splitFields(line []byte, dst [][]byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if i > start {
+			dst = append(dst, line[start:i])
+		}
+	}
+	return dst
+}
+
+// atoi parses a decimal int from b (optionally signed) without allocating.
+// Values past int64 range are rejected, not wrapped — a wrapped byte count
+// would desync the stream framing (the client's payload would be parsed as
+// commands).
+func atoi(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		i = 1
+		if len(b) == 1 {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n > (math.MaxInt64-int64(d))/10 {
+			return 0, false // would overflow (MinInt64 itself is rejected too)
+		}
+		n = n*10 + int64(d)
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// atou parses a decimal uint64 without allocating; out-of-range values are
+// rejected, not wrapped.
+func atou(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for i := 0; i < len(b); i++ {
+		d := b[i] - '0'
+		if d > 9 {
+			return 0, false
+		}
+		if n > (math.MaxUint64-uint64(d))/10 {
+			return 0, false
+		}
+		n = n*10 + uint64(d)
+	}
+	return n, true
+}
+
+// writeInt / writeUint append a number to the response without fmt.
+func (c *serverConn) writeInt(n int64) {
+	c.num = strconv.AppendInt(c.num[:0], n, 10)
+	c.w.Write(c.num)
+}
+
+func (c *serverConn) writeUint(n uint64) {
+	c.num = strconv.AppendUint(c.num[:0], n, 10)
+	c.w.Write(c.num)
+}
+
+// readData consumes a data block of n bytes plus its \r\n terminator into
+// the connection's reusable value buffer.
+func (c *serverConn) readData(n int) ([]byte, error) {
+	need := n + 2
+	if cap(c.val) < need {
+		c.val = make([]byte, need)
+	}
+	buf := c.val[:need]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, errors.New("bad data chunk terminator")
+	}
+	if cap(c.val) > retainedValueBuf {
+		c.val = nil // don't pin a near-limit buffer on an idle connection
+	}
+	return buf[:n], nil
+}
+
+func (c *serverConn) dispatch(fields [][]byte) (quit bool, err error) {
+	w := c.w
+	// The switch converts the command bytes without allocating
+	// (compiler-recognized pattern).
+	switch string(fields[0]) {
 	case "quit":
 		return true, nil
 	case "get", "gets":
 		if len(fields) < 2 {
 			return false, errors.New("get needs a key")
 		}
-		withCas := fields[0] == "gets"
+		withCas := len(fields[0]) == 4 // "gets" vs "get"
 		for _, key := range fields[1:] {
-			val, cas, ok := s.store.Gets(key)
+			var cas uint64
+			var ok bool
+			c.scratch, cas, ok = c.store.GetsAppendB(c.scratch[:0], key)
 			if !ok {
 				continue
 			}
+			val := c.scratch
+			w.WriteString("VALUE ")
+			w.Write(key)
+			w.WriteString(" 0 ")
+			c.writeInt(int64(len(val)))
 			if withCas {
-				fmt.Fprintf(w, "VALUE %s 0 %d %d\r\n", key, len(val), cas)
-			} else {
-				fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(val))
+				w.WriteByte(' ')
+				c.writeUint(cas)
 			}
+			w.WriteString("\r\n")
 			w.Write(val)
 			w.WriteString("\r\n")
 		}
 		w.WriteString("END\r\n")
+		if cap(c.scratch) > retainedValueBuf {
+			c.scratch = nil // as with c.val, don't pin a huge one-off value
+		}
 		return false, nil
 	case "set", "add", "cas":
+		isCas := fields[0][0] == 'c'
 		want := 5
-		if fields[0] == "cas" {
+		if isCas {
 			want = 6
 		}
 		if len(fields) != want {
 			return false, fmt.Errorf("%s needs %d fields", fields[0], want)
 		}
-		key := fields[1]
-		expSecs, err := strconv.Atoi(fields[3])
-		if err != nil {
+		expSecs, ok := atoi(fields[3])
+		if !ok {
 			return false, errors.New("bad exptime")
 		}
-		n, err := strconv.Atoi(fields[4])
-		if err != nil || n < 0 {
+		n, ok := atoi(fields[4])
+		if !ok || n < 0 {
 			return false, errors.New("bad byte count")
 		}
 		if n > maxValueBytes {
 			// Drain the announced data block so the stream stays framed,
 			// then refuse; the connection (and server) live on.
-			if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
+			if _, err := io.CopyN(io.Discard, c.r, n+2); err != nil {
 				return false, err
 			}
 			return false, fmt.Errorf("object too large (%d > %d bytes)", n, maxValueBytes)
 		}
-		data, err := s.readData(r, n)
+		var casID uint64
+		var casOK bool
+		if isCas {
+			casID, casOK = atou(fields[5])
+		}
+		op := fields[0][0] // 's' | 'a' | 'c'
+		// The data-block read refills the bufio buffer and invalidates the
+		// field slices; the key must survive it.
+		c.key = append(c.key[:0], fields[1]...)
+		data, err := c.readData(int(n))
 		if err != nil {
 			return false, err
+		}
+		if isCas && !casOK {
+			// Refused only AFTER the announced data block is consumed: an
+			// early return would leave the payload in the stream to be
+			// executed as top-level commands.
+			return false, errors.New("bad cas id")
 		}
 		ttl := time.Duration(expSecs) * time.Second
 		if expSecs < 0 {
@@ -244,22 +448,18 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 			// smallest positive ttl — expired by the time anyone reads it.
 			ttl = time.Nanosecond
 		}
-		switch fields[0] {
-		case "set":
-			s.store.Set(key, data, ttl)
+		switch op {
+		case 's':
+			c.store.SetB(c.key, data, ttl)
 			w.WriteString("STORED\r\n")
-		case "add":
-			if s.store.Add(key, data, ttl) {
+		case 'a':
+			if c.store.AddB(c.key, data, ttl) {
 				w.WriteString("STORED\r\n")
 			} else {
 				w.WriteString("NOT_STORED\r\n")
 			}
-		case "cas":
-			casID, err := strconv.ParseUint(fields[5], 10, 64)
-			if err != nil {
-				return false, errors.New("bad cas id")
-			}
-			switch s.store.Cas(key, data, ttl, casID) {
+		default:
+			switch c.store.CasB(c.key, data, ttl, casID) {
 			case kvcache.CasStored:
 				w.WriteString("STORED\r\n")
 			case kvcache.CasConflict:
@@ -273,7 +473,7 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		if len(fields) != 2 {
 			return false, errors.New("delete needs a key")
 		}
-		if s.store.Delete(fields[1]) {
+		if c.store.DeleteB(fields[1]) {
 			w.WriteString("DELETED\r\n")
 		} else {
 			w.WriteString("NOT_FOUND\r\n")
@@ -283,15 +483,16 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		if len(fields) != 3 {
 			return false, errors.New("incr needs key and delta")
 		}
-		delta, err := strconv.ParseInt(fields[2], 10, 64)
-		if err != nil {
+		delta, ok := atoi(fields[2])
+		if !ok {
 			return false, errors.New("bad delta")
 		}
-		n, ok := s.store.Incr(fields[1], delta)
-		if !ok {
+		n, found := c.store.IncrB(fields[1], delta)
+		if !found {
 			w.WriteString("NOT_FOUND\r\n")
 		} else {
-			fmt.Fprintf(w, "%d\r\n", n)
+			c.writeInt(n)
+			w.WriteString("\r\n")
 		}
 		return false, nil
 	case "mop":
@@ -302,23 +503,24 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		if len(fields) != 2 {
 			return true, errors.New("mop needs a count")
 		}
-		count, err := strconv.Atoi(fields[1])
-		if err != nil || count < 0 {
+		count, ok := atoi(fields[1])
+		if !ok || count < 0 {
 			return true, errors.New("bad mop count")
 		}
 		if count > maxMopOps {
 			return true, fmt.Errorf("mop count %d exceeds limit %d", count, maxMopOps)
 		}
-		for i := 0; i < count; i++ {
-			line, err := r.ReadString('\n')
+		for i := int64(0); i < count; i++ {
+			line, err := c.readLine()
 			if err != nil {
 				return true, err
 			}
-			sub := strings.Fields(strings.TrimRight(line, "\r\n"))
+			sub := splitFields(line, c.subFields[:0])
+			c.subFields = sub[:0]
 			if len(sub) == 0 {
 				return true, errors.New("empty mop sub-command")
 			}
-			switch sub[0] {
+			switch string(sub[0]) {
 			case "set", "add", "delete", "incr":
 				// One result line each; errors abort the batch AND the
 				// connection: the batch arrives as one pipelined flush, so
@@ -326,7 +528,7 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 				// the stream and indistinguishable from fresh top-level
 				// commands — executing them would apply ops from a batch the
 				// client was told failed. The client discards its end too.
-				if _, err := s.dispatch(sub, r, w); err != nil {
+				if _, err := c.dispatch(sub); err != nil {
 					return true, err
 				}
 			default:
@@ -336,11 +538,11 @@ func (s *Server) dispatch(fields []string, r *bufio.Reader, w *bufio.Writer) (qu
 		w.WriteString("END\r\n")
 		return false, nil
 	case "flush_all":
-		s.store.FlushAll()
+		c.store.FlushAll()
 		w.WriteString("OK\r\n")
 		return false, nil
 	case "stats":
-		st := s.store.Stats()
+		st := c.store.Stats()
 		fmt.Fprintf(w, "STAT get_hits %d\r\n", st.Hits)
 		fmt.Fprintf(w, "STAT get_misses %d\r\n", st.Misses)
 		fmt.Fprintf(w, "STAT cmd_set %d\r\n", st.Sets)

@@ -78,24 +78,87 @@ func ApplyBatchOn(c Cache, ops []BatchOp) []BatchResult {
 
 var _ BatchApplier = (*Store)(nil)
 
-// ApplyBatch implements BatchApplier under a single lock acquisition.
+// ApplyBatch implements BatchApplier with one lock acquisition per involved
+// shard: ops group by owning shard (a counting sort, preserving each
+// shard's op order — ops on the same key always hit the same shard), then
+// each group applies under a single lock hold. A batch that lands on one
+// shard costs exactly one acquisition, as the un-striped store did; a batch
+// spanning shards contends with nothing outside the shards it touches.
 func (s *Store) ApplyBatch(ops []BatchOp) []BatchResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]BatchResult, len(ops))
-	for i, op := range ops {
-		switch op.Kind {
-		case BatchSet:
-			s.setLocked(op.Key, op.Value, op.TTL, true)
-			out[i] = BatchResult{Found: true}
-		case BatchIncr:
-			n, ok := s.incrLocked(op.Key, op.Delta)
-			out[i] = BatchResult{Found: ok, Value: n}
-		default:
-			out[i] = BatchResult{Found: s.deleteLocked(op.Key)}
+	if len(ops) == 0 {
+		return out
+	}
+	if len(s.shards) == 1 {
+		sh := &s.shards[0]
+		sh.mu.Lock()
+		for i := range ops {
+			out[i] = s.applyOpLocked(sh, &ops[i])
 		}
+		sh.mu.Unlock()
+		return out
+	}
+	// Batches smaller than the shard count skip the grouping machinery:
+	// their ops mostly land on distinct shards anyway, so per-op lock
+	// acquisitions cost less than allocating O(NumShards) bookkeeping (the
+	// common invalidation-bus flush is a handful of ops), and per-key
+	// ordering is position order either way.
+	if len(ops) <= 8 || len(ops) < len(s.shards) {
+		for i := range ops {
+			sh := s.shardFor(ops[i].Key)
+			sh.mu.Lock()
+			out[i] = s.applyOpLocked(sh, &ops[i])
+			sh.mu.Unlock()
+		}
+		return out
+	}
+	// Counting sort of op indices by shard.
+	shardOf := make([]uint32, len(ops))
+	counts := make([]int32, len(s.shards))
+	for i := range ops {
+		si := fnv1a32(ops[i].Key) & s.mask
+		shardOf[i] = si
+		counts[si]++
+	}
+	starts := make([]int32, len(s.shards))
+	var sum int32
+	for i, c := range counts {
+		starts[i] = sum
+		sum += c
+	}
+	order := make([]int32, len(ops))
+	next := append([]int32(nil), starts...)
+	for i := range ops {
+		si := shardOf[i]
+		order[next[si]] = int32(i)
+		next[si]++
+	}
+	for si := range s.shards {
+		if counts[si] == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, idx := range order[starts[si]:next[si]] {
+			out[idx] = s.applyOpLocked(sh, &ops[idx])
+		}
+		sh.mu.Unlock()
 	}
 	return out
+}
+
+// applyOpLocked executes one batch op on its shard. Caller holds sh.mu.
+func (s *Store) applyOpLocked(sh *shard, op *BatchOp) BatchResult {
+	switch op.Kind {
+	case BatchSet:
+		s.setLocked(sh, op.Key, op.Value, op.TTL, true)
+		return BatchResult{Found: true}
+	case BatchIncr:
+		n, ok := s.incrLocked(sh, op.Key, op.Delta)
+		return BatchResult{Found: ok, Value: n}
+	default:
+		return BatchResult{Found: s.deleteLocked(sh, op.Key)}
+	}
 }
 
 var _ BatchApplier = (*LatencyCache)(nil)

@@ -7,11 +7,20 @@
 // cacheproto TCP client (remote server), and by the cluster consistent-hash
 // ring (one logical cache over many servers), so every layer of the system
 // is interchangeable in tests and experiments.
+//
+// The Store is lock-striped the way memcached is: keys hash onto N
+// independent shards (N defaults to the next power of two >= 4x GOMAXPROCS,
+// overridable with WithShards), each owning its map, LRU list, slice of the
+// byte budget, and statistics. Concurrent operations on different shards
+// never contend, so a single node scales with cores instead of serializing
+// every read on one global mutex and LRU list.
 package kvcache
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,6 +95,16 @@ func (s Stats) HitRate() float64 {
 // item header does.
 const entryOverhead = 64
 
+// Expiry-sweep pacing: every sweepEveryWrites writes a shard walks up to
+// sweepScanEntries entries from its LRU tail, reaping expired ones. Lazy
+// expiry alone lets a dead entry squat on the byte budget until someone
+// touches its key; on TTL-heavy workloads those squatters would evict live
+// keys. The sweep amortizes to <1 extra entry visit per write.
+const (
+	sweepEveryWrites = 64
+	sweepScanEntries = 32
+)
+
 type entry struct {
 	key     string
 	value   []byte
@@ -94,129 +113,223 @@ type entry struct {
 	lruEl   *list.Element
 }
 
+// size charges the value's backing-array capacity, not its length: buffer
+// reuse can leave cap > len, and a budget that only counted len would let
+// real memory drift above the configured limit.
 func (e *entry) size() int64 {
-	return int64(len(e.key) + len(e.value) + entryOverhead)
+	return int64(len(e.key) + cap(e.value) + entryOverhead)
 }
 
-// Store is the in-process cache server. It is safe for concurrent use.
+// exactCopy allocates value's exact size (append's size-class rounding
+// would otherwise make cap — and therefore the accounted bytes — slightly
+// workload-dependent).
+func exactCopy(value []byte) []byte {
+	out := make([]byte, len(value))
+	copy(out, value)
+	return out
+}
+
+// shard is one lock stripe: an independent map + LRU + byte budget. The pad
+// keeps hot shard headers on separate cache lines.
+type shard struct {
+	mu         sync.Mutex
+	items      map[string]*entry
+	lru        *list.List // front = most recently used
+	capacity   int64      // bytes; 0 = unbounded
+	used       int64
+	stats      Stats
+	writeCount int // paces the amortized expiry sweep
+	_          [32]byte
+}
+
+// Store is the in-process cache server. It is safe for concurrent use:
+// operations lock only the shard owning their key.
 type Store struct {
-	mu       sync.Mutex
-	items    map[string]*entry
-	lru      *list.List // front = most recently used
-	capacity int64      // bytes; 0 = unbounded
-	used     int64
-	casSeq   uint64
-	now      func() time.Time
-	stats    Stats
+	shards []shard
+	mask   uint32
+	casSeq atomic.Uint64 // global so CAS tokens stay unique across shards
+	now    func() time.Time
 }
 
 // Option configures a Store.
-type Option func(*Store)
+type Option func(*storeConfig)
+
+type storeConfig struct {
+	now    func() time.Time
+	shards int
+}
 
 // WithClock injects a time source (tests).
 func WithClock(now func() time.Time) Option {
-	return func(s *Store) { s.now = now }
+	return func(c *storeConfig) { c.now = now }
 }
 
-// New creates a store with the given byte capacity (0 = unbounded).
-func New(capacityBytes int64, opts ...Option) *Store {
-	s := &Store{
-		items:    make(map[string]*entry),
-		lru:      list.New(),
-		capacity: capacityBytes,
-		now:      time.Now,
+// WithShards overrides the lock-stripe count (rounded up to a power of
+// two). n <= 0 keeps the DefaultShards auto-sizing, matching the CLI
+// flags' "0 = auto" semantics so callers can pass a knob through
+// unconditionally. Shards=1 is the pre-striping store — one mutex, one
+// LRU — kept as the scaling baseline for Experiment 9.
+func WithShards(n int) Option {
+	return func(c *storeConfig) {
+		if n > 0 {
+			c.shards = n
+		}
 	}
+}
+
+// DefaultShards is the stripe count New picks when WithShards is not given:
+// the next power of two >= 4x GOMAXPROCS, so that even with every core in
+// the store the probability of two operations colliding on a stripe stays
+// low, and never below 4.
+func DefaultShards() int {
+	return nextPow2(4 * runtime.GOMAXPROCS(0))
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// minShardBytes is the smallest per-shard byte budget worth striping down
+// to: a few entries' worth. Without the floor, a core-rich host (large
+// DefaultShards) would split a small capacity into slices below a single
+// entry's size, making every entry instantly evict itself.
+const minShardBytes = 2048
+
+// New creates a store with the given byte capacity (0 = unbounded). The
+// capacity splits evenly across shards, the way memcached slabs split
+// across its lock stripes; the stripe count is capped so each shard keeps
+// at least minShardBytes of budget.
+func New(capacityBytes int64, opts ...Option) *Store {
+	cfg := storeConfig{now: time.Now, shards: DefaultShards()}
 	for _, o := range opts {
-		o(s)
+		o(&cfg)
+	}
+	n := nextPow2(cfg.shards)
+	if capacityBytes > 0 {
+		for n > 1 && capacityBytes/int64(n) < minShardBytes {
+			n >>= 1
+		}
+	}
+	s := &Store{
+		shards: make([]shard, n),
+		mask:   uint32(n - 1),
+		now:    cfg.now,
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.items = make(map[string]*entry)
+		sh.lru = list.New()
+		if capacityBytes > 0 {
+			// Distribute the budget with the remainder spread over the first
+			// shards so the per-shard sum is exactly the requested total.
+			sh.capacity = capacityBytes / int64(n)
+			if int64(i) < capacityBytes%int64(n) {
+				sh.capacity++
+			}
+		}
 	}
 	return s
 }
 
 var _ Cache = (*Store)(nil)
 
-// expiredLocked reports and reaps an expired entry. Caller holds s.mu.
-func (s *Store) expiredLocked(e *entry) bool {
+// NumShards reports the lock-stripe count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// fnv1a32 hashes key bytes without allocating; the same function serves
+// string and []byte keys so both entry points agree on shard placement.
+func fnv1a32(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
+func fnv1a32Bytes(key []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[fnv1a32(key)&s.mask]
+}
+
+func (s *Store) shardForBytes(key []byte) *shard {
+	return &s.shards[fnv1a32Bytes(key)&s.mask]
+}
+
+// shardIndex exposes placement to in-package tests.
+func (s *Store) shardIndex(key string) int {
+	return int(fnv1a32(key) & s.mask)
+}
+
+// ---------- per-shard internals (caller holds sh.mu) ----------
+
+// expiredLocked reports and reaps an expired entry.
+func (s *Store) expiredLocked(sh *shard, e *entry) bool {
 	if e.expires == 0 || s.now().UnixNano() < e.expires {
 		return false
 	}
-	s.removeLocked(e)
-	s.stats.Expired++
+	removeLocked(sh, e)
+	sh.stats.Expired++
 	return true
 }
 
-func (s *Store) removeLocked(e *entry) {
-	delete(s.items, e.key)
-	s.lru.Remove(e.lruEl)
-	s.used -= e.size()
-}
-
-func (s *Store) bumpLocked(e *entry) {
-	s.lru.MoveToFront(e.lruEl)
+func removeLocked(sh *shard, e *entry) {
+	delete(sh.items, e.key)
+	sh.lru.Remove(e.lruEl)
+	sh.used -= e.size()
 }
 
 // get is the shared lookup; bump controls LRU promotion. The paper notes
 // that trigger touches bump keys even though the application is not "using"
 // them, and suggests a modified LRU; GetQuiet exposes that policy.
-func (s *Store) get(key string, bump bool) (*entry, bool) {
-	e, ok := s.items[key]
+func (s *Store) get(sh *shard, key string, bump bool) (*entry, bool) {
+	e, ok := sh.items[key]
 	if !ok {
-		s.stats.Misses++
+		sh.stats.Misses++
 		return nil, false
 	}
-	if s.expiredLocked(e) {
-		s.stats.Misses++
+	if s.expiredLocked(sh, e) {
+		sh.stats.Misses++
 		return nil, false
 	}
 	if bump {
-		s.bumpLocked(e)
+		sh.lru.MoveToFront(e.lruEl)
 	}
-	s.stats.Hits++
+	sh.stats.Hits++
 	return e, true
 }
 
-// Get implements Cache.
-func (s *Store) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.get(key, true)
+// getBytes is get for a []byte key; the map lookup converts without
+// allocating (compiler-recognized pattern), keeping the protocol hot path
+// allocation-free.
+func (s *Store) getBytes(sh *shard, key []byte, bump bool) (*entry, bool) {
+	e, ok := sh.items[string(key)]
 	if !ok {
+		sh.stats.Misses++
 		return nil, false
 	}
-	return append([]byte(nil), e.value...), true
-}
-
-// GetQuiet is Get without the LRU bump (modified-LRU policy for trigger
-// touches).
-func (s *Store) GetQuiet(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.get(key, false)
-	if !ok {
+	if s.expiredLocked(sh, e) {
+		sh.stats.Misses++
 		return nil, false
 	}
-	return append([]byte(nil), e.value...), true
-}
-
-// Gets implements Cache.
-func (s *Store) Gets(key string) ([]byte, uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.get(key, true)
-	if !ok {
-		return nil, 0, false
+	if bump {
+		sh.lru.MoveToFront(e.lruEl)
 	}
-	return append([]byte(nil), e.value...), e.casID, true
-}
-
-// GetsQuiet is Gets without the LRU bump.
-func (s *Store) GetsQuiet(key string) ([]byte, uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.get(key, false)
-	if !ok {
-		return nil, 0, false
-	}
-	return append([]byte(nil), e.value...), e.casID, true
+	sh.stats.Hits++
+	return e, true
 }
 
 func (s *Store) ttlToExpiry(ttl time.Duration) int64 {
@@ -226,118 +339,142 @@ func (s *Store) ttlToExpiry(ttl time.Duration) int64 {
 	return s.now().Add(ttl).UnixNano()
 }
 
-// setLocked writes key=value, creating or replacing, and evicts to fit.
-func (s *Store) setLocked(key string, value []byte, ttl time.Duration, bump bool) {
-	s.casSeq++
-	if e, ok := s.items[key]; ok {
-		s.used -= e.size()
-		e.value = append([]byte(nil), value...)
-		e.casID = s.casSeq
+// overwriteValue copies value into dst's backing array when it is a
+// reasonable fit, and allocates a fresh exact-size buffer when dst's
+// capacity is far larger than needed: buffer reuse must not pin an entry's
+// historical peak size against a budget that only accounts its current
+// length.
+func overwriteValue(dst, value []byte) []byte {
+	if cap(dst) >= len(value) && cap(dst) <= 4*len(value)+64 {
+		return append(dst[:0], value...)
+	}
+	return append(make([]byte, 0, len(value)), value...)
+}
+
+// setLocked writes key=value, creating or replacing, and evicts to fit. An
+// existing entry's value buffer is reused when it has (reasonable)
+// capacity, so steady overwrite traffic does not allocate.
+func (s *Store) setLocked(sh *shard, key string, value []byte, ttl time.Duration, bump bool) {
+	seq := s.casSeq.Add(1)
+	if e, ok := sh.items[key]; ok {
+		sh.used -= e.size()
+		e.value = overwriteValue(e.value, value)
+		e.casID = seq
 		e.expires = s.ttlToExpiry(ttl)
-		s.used += e.size()
+		sh.used += e.size()
 		if bump {
-			s.bumpLocked(e)
+			sh.lru.MoveToFront(e.lruEl)
 		}
 	} else {
 		e := &entry{
 			key:     key,
-			value:   append([]byte(nil), value...),
-			casID:   s.casSeq,
+			value:   exactCopy(value),
+			casID:   seq,
 			expires: s.ttlToExpiry(ttl),
 		}
-		e.lruEl = s.lru.PushFront(e)
-		s.items[key] = e
-		s.used += e.size()
+		e.lruEl = sh.lru.PushFront(e)
+		sh.items[key] = e
+		sh.used += e.size()
 	}
-	s.stats.Sets++
-	s.evictLocked()
+	sh.stats.Sets++
+	s.afterWriteLocked(sh)
 }
 
-func (s *Store) evictLocked() {
-	if s.capacity <= 0 {
+// setBytesLocked is setLocked for a []byte key: overwrites look the key up
+// without converting, so only a first-time insert pays the string copy.
+func (s *Store) setBytesLocked(sh *shard, key, value []byte, ttl time.Duration, bump bool) {
+	seq := s.casSeq.Add(1)
+	if e, ok := sh.items[string(key)]; ok {
+		sh.used -= e.size()
+		e.value = overwriteValue(e.value, value)
+		e.casID = seq
+		e.expires = s.ttlToExpiry(ttl)
+		sh.used += e.size()
+		if bump {
+			sh.lru.MoveToFront(e.lruEl)
+		}
+	} else {
+		e := &entry{
+			key:     string(key),
+			value:   exactCopy(value),
+			casID:   seq,
+			expires: s.ttlToExpiry(ttl),
+		}
+		e.lruEl = sh.lru.PushFront(e)
+		sh.items[e.key] = e
+		sh.used += e.size()
+	}
+	sh.stats.Sets++
+	s.afterWriteLocked(sh)
+}
+
+// afterWriteLocked runs the post-write maintenance: the paced expiry sweep,
+// then eviction back under the shard's budget.
+func (s *Store) afterWriteLocked(sh *shard) {
+	sh.writeCount++
+	if sh.writeCount >= sweepEveryWrites {
+		sh.writeCount = 0
+		s.sweepLocked(sh, sweepScanEntries)
+	}
+	s.evictLocked(sh)
+}
+
+// sweepLocked walks up to maxScan entries from the LRU tail and reaps the
+// expired ones. Cold entries sink to the tail, so on TTL-heavy workloads
+// this is exactly where dead entries accumulate; the walk is bounded so the
+// cost stays amortized-constant per write.
+func (s *Store) sweepLocked(sh *shard, maxScan int) {
+	nowNano := s.now().UnixNano()
+	el := sh.lru.Back()
+	for i := 0; i < maxScan && el != nil; i++ {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.expires != 0 && nowNano >= e.expires {
+			removeLocked(sh, e)
+			sh.stats.Expired++
+		}
+		el = prev
+	}
+}
+
+// evictLocked drops LRU-tail entries until the shard fits its budget. A tail
+// entry that is already past its TTL counts as expired, not evicted — it was
+// dead weight, not live data squeezed out.
+func (s *Store) evictLocked(sh *shard) {
+	if sh.capacity <= 0 {
 		return
 	}
-	for s.used > s.capacity {
-		back := s.lru.Back()
+	nowNano := s.now().UnixNano()
+	for sh.used > sh.capacity {
+		back := sh.lru.Back()
 		if back == nil {
 			return
 		}
 		e := back.Value.(*entry)
-		s.removeLocked(e)
-		s.stats.Evictions++
+		removeLocked(sh, e)
+		if e.expires != 0 && nowNano >= e.expires {
+			sh.stats.Expired++
+		} else {
+			sh.stats.Evictions++
+		}
 	}
 }
 
-// Set implements Cache.
-func (s *Store) Set(key string, value []byte, ttl time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.setLocked(key, value, ttl, true)
-}
-
-// SetQuiet is Set without LRU promotion of an existing entry.
-func (s *Store) SetQuiet(key string, value []byte, ttl time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.setLocked(key, value, ttl, false)
-}
-
-// Add implements Cache.
-func (s *Store) Add(key string, value []byte, ttl time.Duration) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.items[key]; ok && !s.expiredLocked(e) {
-		return false
-	}
-	s.setLocked(key, value, ttl, true)
-	return true
-}
-
-// Cas implements Cache.
-func (s *Store) Cas(key string, value []byte, ttl time.Duration, cas uint64) CasResult {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.items[key]
-	if !ok || s.expiredLocked(e) {
-		return CasNotFound
-	}
-	if e.casID != cas {
-		s.stats.CasConflicts++
-		return CasConflict
-	}
-	s.setLocked(key, value, ttl, true)
-	return CasStored
-}
-
-// Delete implements Cache.
-func (s *Store) Delete(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.deleteLocked(key)
-}
-
-func (s *Store) deleteLocked(key string) bool {
-	e, ok := s.items[key]
+func (s *Store) deleteLocked(sh *shard, key string) bool {
+	e, ok := sh.items[key]
 	if !ok {
 		return false
 	}
-	expired := s.expiredLocked(e)
+	expired := s.expiredLocked(sh, e)
 	if !expired {
-		s.removeLocked(e)
+		removeLocked(sh, e)
 	}
-	s.stats.Deletes++
+	sh.stats.Deletes++
 	return !expired
 }
 
-// Incr implements Cache.
-func (s *Store) Incr(key string, delta int64) (int64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.incrLocked(key, delta)
-}
-
-func (s *Store) incrLocked(key string, delta int64) (int64, bool) {
-	e, ok := s.get(key, true)
+func (s *Store) incrLocked(sh *shard, key string, delta int64) (int64, bool) {
+	e, ok := s.get(sh, key, true)
 	if !ok {
 		return 0, false
 	}
@@ -346,46 +483,282 @@ func (s *Store) incrLocked(key string, delta int64) (int64, bool) {
 		return 0, false
 	}
 	n += delta
-	s.used -= e.size()
+	sh.used -= e.size()
 	e.value = appendDecimal(e.value[:0], n)
-	s.casSeq++
-	e.casID = s.casSeq
-	s.used += e.size()
+	e.casID = s.casSeq.Add(1)
+	sh.used += e.size()
 	return n, true
 }
 
-// FlushAll implements Cache.
-func (s *Store) FlushAll() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items = make(map[string]*entry)
-	s.lru.Init()
-	s.used = 0
+// ---------- public string-key operations ----------
+
+// Get implements Cache.
+func (s *Store) Get(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := s.get(sh, key, true)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.value...), true
 }
 
-// Stats returns a snapshot of counters and occupancy.
+// GetQuiet is Get without the LRU bump (modified-LRU policy for trigger
+// touches).
+func (s *Store) GetQuiet(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := s.get(sh, key, false)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), e.value...), true
+}
+
+// Gets implements Cache.
+func (s *Store) Gets(key string) ([]byte, uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := s.get(sh, key, true)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), e.value...), e.casID, true
+}
+
+// GetsQuiet is Gets without the LRU bump.
+func (s *Store) GetsQuiet(key string) ([]byte, uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := s.get(sh, key, false)
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), e.value...), e.casID, true
+}
+
+// Set implements Cache.
+func (s *Store) Set(key string, value []byte, ttl time.Duration) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.setLocked(sh, key, value, ttl, true)
+}
+
+// SetQuiet is Set without LRU promotion of an existing entry.
+func (s *Store) SetQuiet(key string, value []byte, ttl time.Duration) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.setLocked(sh, key, value, ttl, false)
+}
+
+// Add implements Cache.
+func (s *Store) Add(key string, value []byte, ttl time.Duration) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[key]; ok && !s.expiredLocked(sh, e) {
+		return false
+	}
+	s.setLocked(sh, key, value, ttl, true)
+	return true
+}
+
+// Cas implements Cache.
+func (s *Store) Cas(key string, value []byte, ttl time.Duration, cas uint64) CasResult {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[key]
+	if !ok || s.expiredLocked(sh, e) {
+		return CasNotFound
+	}
+	if e.casID != cas {
+		sh.stats.CasConflicts++
+		return CasConflict
+	}
+	s.setLocked(sh, key, value, ttl, true)
+	return CasStored
+}
+
+// Delete implements Cache.
+func (s *Store) Delete(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.deleteLocked(sh, key)
+}
+
+// Incr implements Cache.
+func (s *Store) Incr(key string, delta int64) (int64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.incrLocked(sh, key, delta)
+}
+
+// FlushAll implements Cache. Shards flush one at a time; concurrent writers
+// may land in an already-flushed shard, as with memcached's flush_all.
+func (s *Store) FlushAll() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.items = make(map[string]*entry)
+		sh.lru.Init()
+		sh.used = 0
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of counters and occupancy aggregated across
+// shards. Each shard is snapshotted under its own lock; the aggregate is not
+// a single atomic cut across shards (neither were memcached's stats).
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Items = int64(len(s.items))
-	st.BytesUsed = s.used
-	st.BytesLimit = s.capacity
-	return st
+	var agg Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.stats
+		st.Items = int64(len(sh.items))
+		st.BytesUsed = sh.used
+		st.BytesLimit = sh.capacity
+		sh.mu.Unlock()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Sets += st.Sets
+		agg.Deletes += st.Deletes
+		agg.Evictions += st.Evictions
+		agg.Expired += st.Expired
+		agg.CasConflicts += st.CasConflicts
+		agg.Items += st.Items
+		agg.BytesUsed += st.BytesUsed
+		agg.BytesLimit += st.BytesLimit
+	}
+	return agg
 }
 
 // ResetStats zeroes the cumulative counters.
 func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.stats = Stats{}
+		sh.mu.Unlock()
+	}
 }
 
 // Len reports the number of live items.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.items)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ---------- []byte-key operations (protocol hot path) ----------
+//
+// The cacheproto server parses commands into byte slices pointing at its
+// read buffer; converting them to strings per operation would allocate on
+// every request. These variants keep the whole request path allocation-free:
+// lookups use the compiler's no-copy map access, overwrites reuse the
+// entry's value buffer, and reads append into a caller-owned scratch buffer.
+
+// GetsAppendB looks a []byte key up and appends its value to dst, returning
+// the extended slice, the entry's CAS token, and whether it was live. The
+// only allocation is dst growth, which the caller amortizes by reuse.
+func (s *Store) GetsAppendB(dst, key []byte) ([]byte, uint64, bool) {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := s.getBytes(sh, key, true)
+	if !ok {
+		return dst, 0, false
+	}
+	return append(dst, e.value...), e.casID, true
+}
+
+// SetB is Set for a []byte key.
+func (s *Store) SetB(key, value []byte, ttl time.Duration) {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.setBytesLocked(sh, key, value, ttl, true)
+}
+
+// AddB is Add for a []byte key.
+func (s *Store) AddB(key, value []byte, ttl time.Duration) bool {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.items[string(key)]; ok && !s.expiredLocked(sh, e) {
+		return false
+	}
+	s.setBytesLocked(sh, key, value, ttl, true)
+	return true
+}
+
+// CasB is Cas for a []byte key.
+func (s *Store) CasB(key, value []byte, ttl time.Duration, cas uint64) CasResult {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[string(key)]
+	if !ok || s.expiredLocked(sh, e) {
+		return CasNotFound
+	}
+	if e.casID != cas {
+		sh.stats.CasConflicts++
+		return CasConflict
+	}
+	s.setBytesLocked(sh, key, value, ttl, true)
+	return CasStored
+}
+
+// DeleteB is Delete for a []byte key.
+func (s *Store) DeleteB(key []byte) bool {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[string(key)]
+	if !ok {
+		return false
+	}
+	expired := s.expiredLocked(sh, e)
+	if !expired {
+		removeLocked(sh, e)
+	}
+	sh.stats.Deletes++
+	return !expired
+}
+
+// IncrB is Incr for a []byte key.
+func (s *Store) IncrB(key []byte, delta int64) (int64, bool) {
+	sh := s.shardForBytes(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := s.getBytes(sh, key, true)
+	if !ok {
+		return 0, false
+	}
+	n, ok := parseDecimal(e.value)
+	if !ok {
+		return 0, false
+	}
+	n += delta
+	sh.used -= e.size()
+	e.value = appendDecimal(e.value[:0], n)
+	e.casID = s.casSeq.Add(1)
+	sh.used += e.size()
+	return n, true
 }
 
 func parseDecimal(b []byte) (int64, bool) {

@@ -153,9 +153,10 @@ func TestExpiry(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	// Capacity for about 3 items of this size.
+	// Capacity for about 3 items of this size. LRU ordering is a per-shard
+	// property, so the policy tests pin it on a single stripe.
 	itemSize := int64(len("key-0") + 100 + entryOverhead)
-	s := New(3 * itemSize)
+	s := New(3*itemSize, WithShards(1))
 	val := make([]byte, 100)
 	for i := 0; i < 4; i++ {
 		s.Set(fmt.Sprintf("key-%d", i), val, 0)
@@ -173,7 +174,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestLRUBumpOnGet(t *testing.T) {
 	itemSize := int64(len("key-0") + 100 + entryOverhead)
-	s := New(3 * itemSize)
+	s := New(3*itemSize, WithShards(1))
 	val := make([]byte, 100)
 	for i := 0; i < 3; i++ {
 		s.Set(fmt.Sprintf("key-%d", i), val, 0)
@@ -190,7 +191,7 @@ func TestLRUBumpOnGet(t *testing.T) {
 
 func TestGetQuietDoesNotBump(t *testing.T) {
 	itemSize := int64(len("key-0") + 100 + entryOverhead)
-	s := New(3 * itemSize)
+	s := New(3*itemSize, WithShards(1))
 	val := make([]byte, 100)
 	for i := 0; i < 3; i++ {
 		s.Set(fmt.Sprintf("key-%d", i), val, 0)

@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"cachegenie/internal/cacheproto"
+	"cachegenie/internal/kvcache"
+)
+
+// ---------- Experiment 9: single-node multi-core scaling ----------
+//
+// Every earlier experiment scales the system out (more nodes, batching,
+// fan-out); Experiment 9 scales one node up. It pits the pre-striping store
+// (WithShards(1): one mutex, one LRU mutated even by reads) against the
+// lock-striped store at increasing client concurrency, on both the
+// in-process ("local") and the real-TCP ("remote") paths, and records
+// throughput, tail latency, and allocations per operation. On a multi-core
+// runner the single mutex flatlines where the paper's throughput curves
+// should keep climbing; the striped store keeps scaling — memcached's lock
+// striping reproduced as an artifact, not a claim.
+
+// Exp9ValueBytes / Exp9Keys size the dataset: a few thousand small values,
+// comfortably in-memory, so the measurement isolates locking and allocation
+// rather than eviction.
+const (
+	Exp9ValueBytes = 128
+	Exp9Keys       = 4096
+)
+
+// Exp9WritePct is the write share of the op mix. 10% writes keeps the
+// global-LRU read bump the dominant contention source, matching the
+// read-mostly shape of the paper's workload.
+const Exp9WritePct = 10
+
+// exp9SampleEvery thins per-op latency sampling so the timer itself does
+// not dominate a ~200ns operation.
+const exp9SampleEvery = 16
+
+// Exp9Clients returns the client-concurrency sweep.
+func Exp9Clients(quick bool) []int {
+	if quick {
+		return []int{1, 16, 64}
+	}
+	return []int{1, 4, 16, 64}
+}
+
+// Exp9Point is one (transport, shards, clients) measurement.
+type Exp9Point struct {
+	Transport   string // "local" (in-process store) or "remote" (TCP + pool)
+	Shards      int
+	Clients     int
+	Ops         int64
+	OpsPerSec   float64
+	P50         time.Duration
+	P99         time.Duration
+	NsPerOp     float64
+	AllocsPerOp float64
+}
+
+// Exp9Result is the full Experiment 9 report.
+type Exp9Result struct {
+	// GOMAXPROCS and NumCPU qualify the curve: scaling with cores can only
+	// show on a runner that has them, so the artifact records what it ran on.
+	GOMAXPROCS    int
+	NumCPU        int
+	ShardedShards int // stripe count the "sharded" configuration used
+	Points        []Exp9Point
+}
+
+// Speedup returns sharded/1-shard throughput for a transport and client
+// count (0 when either point is missing).
+func (r Exp9Result) Speedup(transport string, clients int) float64 {
+	var base, sharded float64
+	for _, p := range r.Points {
+		if p.Transport != transport || p.Clients != clients {
+			continue
+		}
+		if p.Shards == 1 {
+			base = p.OpsPerSec
+		} else {
+			sharded = p.OpsPerSec
+		}
+	}
+	if base <= 0 {
+		return 0
+	}
+	return sharded / base
+}
+
+// exp9Ops sizes the per-point op count: enough for a stable rate, bounded
+// so the full sweep stays in benchmark-smoke territory.
+func exp9Ops(quick, remote bool) int64 {
+	if remote {
+		// Remote ops cost a real TCP round trip (~10µs on loopback); the
+		// count drops so each point still finishes in about a second.
+		if quick {
+			return 40_000
+		}
+		return 120_000
+	}
+	if quick {
+		return 400_000
+	}
+	return 1_200_000
+}
+
+// exp9Run drives one measurement point: clients goroutines issue a 90/10
+// get/set mix over a shared keyspace against cache, with deterministic
+// per-client LCG key choice, thinned latency sampling, and allocation
+// accounting across the run.
+func exp9Run(cache kvcache.Cache, clients int, totalOps int64) Exp9Point {
+	keys := make([]string, Exp9Keys)
+	val := make([]byte, Exp9ValueBytes)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("exp9-key-%04d", i)
+		cache.Set(keys[i], val, 0)
+	}
+	perClient := totalOps / int64(clients)
+	if perClient < 1 {
+		perClient = 1
+	}
+	ops := perClient * int64(clients)
+	samples := make([][]time.Duration, clients)
+	for i := range samples {
+		samples[i] = make([]time.Duration, 0, perClient/exp9SampleEvery+1)
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Deterministic per-client LCG: no shared rand, no per-op alloc.
+			r := uint32(id+1)*2654435761 + 12345
+			sample := samples[id]
+			for i := int64(0); i < perClient; i++ {
+				r = r*1664525 + 1013904223
+				k := keys[r%Exp9Keys]
+				timed := i%exp9SampleEvery == 0
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
+				if r%100 < Exp9WritePct {
+					cache.Set(k, val, 0)
+				} else {
+					cache.Get(k)
+				}
+				if timed {
+					sample = append(sample, time.Since(t0))
+				}
+			}
+			samples[id] = sample
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	pt := Exp9Point{
+		Clients:     clients,
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+	}
+	if n := len(all); n > 0 {
+		pt.P50 = all[n/2]
+		pt.P99 = all[n*99/100]
+	}
+	return pt
+}
+
+// Exp9 runs the core-scaling sweep: {1-shard baseline, striped} x client
+// concurrency x {local, remote} transports.
+func Exp9(opt ExpOptions) (Exp9Result, error) {
+	res := Exp9Result{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		ShardedShards: kvcache.DefaultShards(),
+	}
+	shardCfgs := []int{1, res.ShardedShards}
+	for _, transport := range []string{"local", "remote"} {
+		for _, shards := range shardCfgs {
+			for _, clients := range Exp9Clients(opt.Quick) {
+				store := kvcache.New(0, kvcache.WithShards(shards))
+				var cache kvcache.Cache = store
+				var cleanup func()
+				if transport == "remote" {
+					srv := cacheproto.NewServer(store)
+					addr, err := srv.Listen("127.0.0.1:0")
+					if err != nil {
+						return res, fmt.Errorf("workload: exp9 cache node: %w", err)
+					}
+					pool := cacheproto.NewPoolWithConfig(cacheproto.PoolConfig{
+						Addr:      addr,
+						MaxIdle:   clients,
+						MaxConns:  2 * clients,
+						OpTimeout: 5 * time.Second,
+					})
+					cache = pool
+					cleanup = func() { _ = pool.Close(); _ = srv.Close() }
+				}
+				pt := exp9Run(cache, clients, exp9Ops(opt.Quick, transport == "remote"))
+				pt.Transport = transport
+				pt.Shards = shards
+				if cleanup != nil {
+					cleanup()
+				}
+				res.Points = append(res.Points, pt)
+				opt.logf("exp9  %-6s shards=%-3d clients=%-3d %12.0f ops/s  p50=%-8v p99=%-8v %.1f ns/op  %.3f allocs/op",
+					pt.Transport, pt.Shards, pt.Clients, pt.OpsPerSec,
+					pt.P50, pt.P99, pt.NsPerOp, pt.AllocsPerOp)
+			}
+		}
+	}
+	for _, transport := range []string{"local", "remote"} {
+		maxC := Exp9Clients(opt.Quick)
+		c := maxC[len(maxC)-1]
+		opt.logf("exp9  %-6s sharded/1-shard speedup at %d clients: %.2fx (gomaxprocs=%d)",
+			transport, c, res.Speedup(transport, c), res.GOMAXPROCS)
+	}
+	return res, nil
+}
+
+// ---------- BENCH_exp9.json ----------
+
+// Exp9JSONPoint serializes one point; durations flatten to microseconds so
+// the artifact diffs meaningfully across CI runs.
+type Exp9JSONPoint struct {
+	Transport   string  `json:"transport"`
+	Shards      int     `json:"shards"`
+	Clients     int     `json:"clients"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Exp9JSONSpeedup is one sharded-vs-baseline ratio.
+type Exp9JSONSpeedup struct {
+	Transport string  `json:"transport"`
+	Clients   int     `json:"clients"`
+	Speedup   float64 `json:"sharded_over_1shard"`
+}
+
+// Exp9JSON is the BENCH_exp9.json document.
+type Exp9JSON struct {
+	Experiment    string            `json:"experiment"`
+	GOMAXPROCS    int               `json:"gomaxprocs"`
+	NumCPU        int               `json:"num_cpu"`
+	ShardedShards int               `json:"sharded_shards"`
+	WritePct      int               `json:"write_pct"`
+	ValueBytes    int               `json:"value_bytes"`
+	Keys          int               `json:"keys"`
+	Points        []Exp9JSONPoint   `json:"points"`
+	Speedups      []Exp9JSONSpeedup `json:"speedups"`
+}
+
+// WriteExp9JSON records an Experiment 9 sweep as JSON at path (the CI bench
+// smoke uploads BENCH_*.json files as workflow artifacts).
+func WriteExp9JSON(path string, r Exp9Result) error {
+	doc := Exp9JSON{
+		Experiment:    "exp9-core-scaling",
+		GOMAXPROCS:    r.GOMAXPROCS,
+		NumCPU:        r.NumCPU,
+		ShardedShards: r.ShardedShards,
+		WritePct:      Exp9WritePct,
+		ValueBytes:    Exp9ValueBytes,
+		Keys:          Exp9Keys,
+	}
+	seen := map[[2]interface{}]bool{}
+	for _, p := range r.Points {
+		doc.Points = append(doc.Points, Exp9JSONPoint{
+			Transport:   p.Transport,
+			Shards:      p.Shards,
+			Clients:     p.Clients,
+			OpsPerSec:   p.OpsPerSec,
+			P50Us:       us(p.P50),
+			P99Us:       us(p.P99),
+			NsPerOp:     p.NsPerOp,
+			AllocsPerOp: p.AllocsPerOp,
+		})
+		key := [2]interface{}{p.Transport, p.Clients}
+		if !seen[key] {
+			seen[key] = true
+			if sp := r.Speedup(p.Transport, p.Clients); sp > 0 {
+				doc.Speedups = append(doc.Speedups, Exp9JSONSpeedup{
+					Transport: p.Transport, Clients: p.Clients, Speedup: sp,
+				})
+			}
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("workload: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -38,6 +38,9 @@ type ExpOptions struct {
 	// CacheAddrs points remote-transport stacks at externally launched
 	// geniecache nodes instead of self-launched loopback ones.
 	CacheAddrs []string
+	// Shards overrides every cache node's lock-stripe count (0 = kvcache
+	// default). Experiment 9 sweeps stripe counts itself and ignores this.
+	Shards int
 }
 
 func (o ExpOptions) scale() int {
@@ -90,6 +93,7 @@ func (o ExpOptions) buildStack(mode Mode, cacheBytes int64, poolPages int) (*Sta
 		RngSeed:           42,
 		LatencyScale:      o.scale(),
 		CacheBytes:        cacheBytes,
+		CacheShards:       o.Shards,
 		BufferPoolPages:   poolPages,
 		DiskWidth:         2,
 		AsyncInvalidation: o.Async,

@@ -77,6 +77,10 @@ type StackConfig struct {
 	// CacheNodes > 1 spreads the cache over a consistent-hash ring of
 	// cache nodes (each sized CacheBytes/CacheNodes).
 	CacheNodes int
+	// CacheShards overrides each node's lock-stripe count (0 = the kvcache
+	// default of the next power of two >= 4x GOMAXPROCS; 1 = the un-striped
+	// baseline Experiment 9 measures against).
+	CacheShards int
 	// Transport selects in-process stores (default) or real cacheproto
 	// servers reached over TCP through pooled clients.
 	Transport CacheTransport
@@ -100,6 +104,10 @@ type StackConfig struct {
 	// ProbeInterval is the breaker's background probe cadence while open
 	// (0 = cacheproto.DefaultProbeInterval).
 	ProbeInterval time.Duration
+	// OpTimeout bounds every remote cache round trip (and dial) with a
+	// connection deadline, so a node that accepts but never answers releases
+	// its pool slot and feeds the breaker (0 = no deadline).
+	OpTimeout time.Duration
 	// LatencyScale enables the paper-calibrated injected latency model,
 	// divided by the given factor (0 disables; 1 = paper-absolute;
 	// 10 = default experiment scale).
@@ -222,8 +230,12 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 			MaxConns:       cfg.PoolMaxConns,
 			FailThreshold:  cfg.BreakerThreshold,
 			ProbeInterval:  cfg.ProbeInterval,
+			OpTimeout:      cfg.OpTimeout,
 			DisableBreaker: cfg.BreakerThreshold < 0,
 		})
+	}
+	newStore := func() *kvcache.Store {
+		return kvcache.New(perNode, kvcache.WithShards(cfg.CacheShards))
 	}
 	var nodes []kvcache.Cache
 	var nodeIDs []string
@@ -240,7 +252,7 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 		// Self-contained remote tier: one real cacheproto server per node on
 		// loopback TCP, each reached through a pooled client.
 		for i := 0; i < cfg.CacheNodes; i++ {
-			store := kvcache.New(perNode)
+			store := newStore()
 			srv := cacheproto.NewServer(store)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
@@ -256,7 +268,7 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 		}
 	default:
 		for i := 0; i < cfg.CacheNodes; i++ {
-			store := kvcache.New(perNode)
+			store := newStore()
 			st.Stores = append(st.Stores, store)
 			nodes = append(nodes, store)
 			nodeIDs = append(nodeIDs, fmt.Sprintf("node-%d", i))
