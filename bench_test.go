@@ -489,6 +489,45 @@ func BenchmarkExp8NodeFailure(b *testing.B) {
 	}
 }
 
+// ---------- Experiment 10: replica-aware cluster tier ----------
+
+// BenchmarkExp10ReplicatedFailover reruns the Experiment 8 kill/revive
+// timeline at R=1 and R=2 on the 4-node loopback tier. Expected shape: the
+// R=1 degraded phase loses the dead node's ~1/N key share (hit ~0.80, the
+// exp8 number) while the R=2 one rides through the kill on breaker-aware
+// failover reads (hit within a few points of healthy), the rejoin handoff
+// warms the revived node, and the closing staleness scan reports zero
+// divergent and zero orphaned keys — trigger invalidations demonstrably
+// reached every replica. The timeline is also written to BENCH_exp10.json,
+// which CI uploads as a workflow artifact.
+func BenchmarkExp10ReplicatedFailover(b *testing.B) {
+	opt := benchOpts()
+	var last workload.Exp10Result
+	var hitR1, hitR2, stale float64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Exp10(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+		if tl, ok := res.Timeline(1); ok {
+			hitR1 += tl.Degraded.HitRate
+			stale += float64(tl.DivergentKeys + tl.OrphanKeys)
+		}
+		if tl, ok := res.Timeline(workload.Exp10Replicas); ok {
+			hitR2 += tl.Degraded.HitRate
+			stale += float64(tl.DivergentKeys + tl.OrphanKeys)
+		}
+	}
+	b.ReportMetric(hitR1/float64(b.N), "degraded-hit-r1")
+	b.ReportMetric(hitR2/float64(b.N), "degraded-hit-r2")
+	b.ReportMetric(stale/float64(b.N), "stale-keys")
+	b.ReportMetric(0, "ns/op")
+	if err := workload.WriteExp10JSON("BENCH_exp10.json", last); err != nil {
+		b.Logf("BENCH_exp10.json not written: %v", err)
+	}
+}
+
 // ---------- Experiment 9: single-node multi-core scaling ----------
 
 // BenchmarkExp9CoreScaling pits the 1-shard (single-mutex, global-LRU)

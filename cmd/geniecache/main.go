@@ -13,7 +13,10 @@
 // consecutive ports are claimed starting at the configured one (port 0
 // lets the kernel pick every port). The launched addresses print one per
 // line, followed by a comma-joined list ready for
-// `genieload -transport remote -cache-addrs ...`.
+// `genieload -transport remote -cache-addrs ...`. Replication is client-
+// side ring routing, so -replicas only annotates that printed command with
+// the factor the tier is meant to run at (R <= -nodes keys survive a node
+// loss).
 //
 // Failure drills: -kill-node N -kill-after D kills node N (listener and all
 // connections torn down, exactly a crashed process from the client side)
@@ -50,6 +53,7 @@ func main() {
 	capacity := flag.Int64("capacity", 512<<20, "total cache capacity in bytes, split across nodes (0 = unbounded)")
 	nodes := flag.Int("nodes", 1, "number of cache nodes to launch on consecutive ports")
 	shards := flag.Int("shards", 0, "lock-stripe count per node (0 = auto: next pow2 >= 4x GOMAXPROCS; 1 = single-mutex baseline)")
+	replicas := flag.Int("replicas", 0, "intended ring replication factor for clients of this tier; echoed into the printed genieload command (replication is client-side routing — the servers are unaffected)")
 	killNode := flag.Int("kill-node", -1, "node index to kill for a failure drill (-1 = none)")
 	killAfter := flag.Duration("kill-after", 10*time.Second, "how long after startup to kill -kill-node")
 	reviveAfter := flag.Duration("revive-after", 0, "how long after the kill to revive the node cold on the same address (0 = stay dead)")
@@ -95,7 +99,11 @@ func main() {
 		bounds[i] = bound
 		fmt.Printf("geniecache node %d listening on %s (capacity %d bytes)\n", i, bound, perNode)
 	}
-	fmt.Printf("cache tier ready: -cache-addrs %s\n", strings.Join(bounds, ","))
+	hint := fmt.Sprintf("-cache-addrs %s", strings.Join(bounds, ","))
+	if *replicas > 1 {
+		hint += fmt.Sprintf(" -replicas %d", *replicas)
+	}
+	fmt.Printf("cache tier ready: %s\n", hint)
 
 	// srvMu guards servers[i] against the failure-drill goroutine swapping a
 	// revived server in while shutdown walks the slice.

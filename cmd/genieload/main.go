@@ -17,6 +17,7 @@
 //	genieload -experiment exp7           # remote cache tier over real TCP
 //	genieload -experiment exp8           # node failure: breaker + live ring membership
 //	genieload -experiment exp9           # single-node multi-core scaling (sharded store)
+//	genieload -experiment exp10          # R-way replication: failover routing + key handoff
 //	genieload -experiment micro          # §5.3 microbenchmarks
 //	genieload -experiment effort         # §5.2 programmer effort
 //	genieload -experiment ablation       # template-invalidation baseline
@@ -43,6 +44,14 @@
 // against the lock-striped one at rising client concurrency, in-process and
 // over real TCP, written to BENCH_exp9.json. The -shards flag overrides the
 // stripe count for every OTHER experiment's cache nodes (0 = auto).
+//
+// exp10 is the replication drill: the exp8 kill/revive timeline at R=1 vs
+// R=2 — with a second replica, breaker-aware failover reads carry the dead
+// node's key share and the hit rate rides through the kill — plus an
+// invalidation-staleness scan proving triggers reached every replica,
+// written to BENCH_exp10.json. The -replicas flag sets the ring's
+// replication factor for every OTHER experiment's cache tier (0/1 =
+// single-owner routing; exp10 sweeps R itself).
 package main
 
 import (
@@ -57,7 +66,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, exp9, micro, effort, ablation)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, exp9, exp10, micro, effort, ablation)")
 	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	async := flag.Bool("async", false, "route trigger cache maintenance through the async invalidation bus")
@@ -65,6 +74,7 @@ func main() {
 	transportFlag := flag.String("transport", "inprocess", "cache transport: inprocess or remote (real TCP cacheproto nodes)")
 	cacheAddrs := flag.String("cache-addrs", "", "comma-separated geniecache addresses for -transport remote (empty = launch loopback nodes)")
 	shards := flag.Int("shards", 0, "cache-node lock-stripe count (0 = auto: next pow2 >= 4x GOMAXPROCS; 1 = unsharded baseline)")
+	replicas := flag.Int("replicas", 0, "cache ring replication factor R (0/1 = single-owner routing; clamped to the node count)")
 	flag.Parse()
 
 	transport, err := workload.ParseTransport(*transportFlag)
@@ -83,6 +93,7 @@ func main() {
 		LatencyScale: *scale, Quick: *quick, Out: os.Stdout,
 		Async: *async, BatchWindow: *batchWindow,
 		Transport: transport, CacheAddrs: addrs, Shards: *shards,
+		Replicas: *replicas,
 	}
 	run := func(name string, fn func() error) {
 		fmt.Printf("\n== %s ==\n", name)
@@ -226,6 +237,20 @@ func main() {
 				return err
 			}
 			fmt.Println("sweep written to BENCH_exp9.json")
+			return nil
+		})
+	}
+	if all || *experiment == "exp10" {
+		matched = true
+		run("Experiment 10: replica-aware cluster tier (R-way replication, failover, key handoff)", func() error {
+			res, err := workload.Exp10(opt)
+			if err != nil {
+				return err
+			}
+			if err := workload.WriteExp10JSON("BENCH_exp10.json", res); err != nil {
+				return err
+			}
+			fmt.Println("timelines written to BENCH_exp10.json")
 			return nil
 		})
 	}

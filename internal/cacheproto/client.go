@@ -382,7 +382,7 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 		if !validKey(op.Key) {
 			continue
 		}
-		if op.Kind == kvcache.BatchSet && len(op.Value) > maxValueBytes {
+		if (op.Kind == kvcache.BatchSet || op.Kind == kvcache.BatchAdd) && len(op.Value) > maxValueBytes {
 			continue
 		}
 		send = append(send, i)
@@ -404,8 +404,12 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 		op := &ops[i]
 		b = c.wbuf[:0]
 		switch op.Kind {
-		case kvcache.BatchSet:
-			b = c.appendStoreCmd(b, "set", op.Key, op.TTL, len(op.Value))
+		case kvcache.BatchSet, kvcache.BatchAdd:
+			verb := "set"
+			if op.Kind == kvcache.BatchAdd {
+				verb = "add"
+			}
+			b = c.appendStoreCmd(b, verb, op.Key, op.TTL, len(op.Value))
 			b = append(b, '\r', '\n')
 			c.w.Write(b)
 			c.w.Write(op.Value)
@@ -442,7 +446,7 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 			return out, c.fail(fmt.Errorf("cacheproto: mop aborted at op %d: %s", n, line))
 		}
 		switch ops[i].Kind {
-		case kvcache.BatchSet:
+		case kvcache.BatchSet, kvcache.BatchAdd:
 			out[i] = kvcache.BatchResult{Found: string(line) == "STORED"}
 		case kvcache.BatchIncr:
 			if n, ok := atoi(line); ok {
@@ -489,6 +493,35 @@ func validKey(key string) bool {
 		}
 	}
 	return true
+}
+
+// Keys fetches the server's live key list (the keys command). The cluster
+// membership-change handoff uses it to find the remapped key share on a
+// prior owner; like that pass itself it is O(keys) and not a hot-path call.
+func (c *Client) Keys() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return nil, errClientBroken
+	}
+	c.armDeadline()
+	if err := c.sendLine(append(c.cmd(), "keys"...), nil); err != nil {
+		return nil, c.fail(err)
+	}
+	var out []string
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		if string(line) == "END" {
+			return out, nil
+		}
+		if len(line) < 5 || string(line[:4]) != "KEY " {
+			return nil, c.fail(errors.New("cacheproto: bad keys line " + string(line)))
+		}
+		out = append(out, string(line[4:]))
+	}
 }
 
 // ServerStats fetches the server's counters.

@@ -1,0 +1,113 @@
+package cacheproto
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"cachegenie/internal/kvcache"
+)
+
+// TestKeysCommand round-trips the keys command through client and pool: the
+// enumeration matches the store, expired entries are excluded, and an empty
+// store lists nothing.
+func TestKeysCommand(t *testing.T) {
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys, err := c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("empty store listed %v", keys)
+	}
+
+	want := []string{"alpha", "beta", "gamma"}
+	for _, k := range want {
+		store.Set(k, []byte("v"), 0)
+	}
+	store.Set("doomed", []byte("v"), time.Nanosecond)
+	time.Sleep(2 * time.Millisecond)
+
+	keys, err = c.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(keys)
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v (expired entry must not list)", keys, want)
+	}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+
+	// The pooled client speaks it too — this is the path cluster handoff
+	// actually uses.
+	p := NewPool(addr, 2)
+	defer p.Close()
+	pk, err := p.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(pk)
+	if len(pk) != len(want) || pk[0] != "alpha" || pk[2] != "gamma" {
+		t.Fatalf("Pool.Keys = %v, want %v", pk, want)
+	}
+
+	// A dead server surfaces as an error, not an empty (successfully
+	// enumerated) key list — handoff relies on the distinction to count the
+	// node skipped rather than treating it as clean.
+	_ = srv.Close()
+	p2 := NewPool(addr, 2)
+	defer p2.Close()
+	if _, err := p2.Keys(); err == nil {
+		t.Fatal("Keys against a dead server returned no error")
+	}
+}
+
+// TestBatchAddOverWire: BatchAdd ops ride a mop exchange with add-if-absent
+// semantics — the handoff warmup path: an existing (fresher) value wins,
+// an absent key is stored.
+func TestBatchAddOverWire(t *testing.T) {
+	store := kvcache.New(0)
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := NewPool(addr, 2)
+	defer p.Close()
+
+	store.Set("taken", []byte("fresh"), 0)
+	res := p.ApplyBatch([]kvcache.BatchOp{
+		{Kind: kvcache.BatchAdd, Key: "taken", Value: []byte("stale")},
+		{Kind: kvcache.BatchAdd, Key: "empty", Value: []byte("copied")},
+	})
+	if res[0].Found {
+		t.Fatal("add over an existing key reported stored")
+	}
+	if !res[1].Found {
+		t.Fatal("add to an absent key reported not stored")
+	}
+	if v, _ := store.GetQuiet("taken"); string(v) != "fresh" {
+		t.Fatalf("existing value clobbered: %q", v)
+	}
+	if v, ok := store.GetQuiet("empty"); !ok || string(v) != "copied" {
+		t.Fatalf("absent key not stored: %q/%v", v, ok)
+	}
+}

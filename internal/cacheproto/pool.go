@@ -181,6 +181,13 @@ func (p *Pool) State() BreakerState {
 	return p.state
 }
 
+// Healthy reports whether the breaker is closed — the node is worth
+// dialing. It implements cluster.HealthReporter, letting the consistent-
+// hash ring route a read around an open breaker *before* paying even the
+// fail-fast path, and fail over to the key's next replica instead of
+// degrading to a miss.
+func (p *Pool) Healthy() bool { return p.State() == BreakerClosed }
+
 // PoolStats counts pool activity.
 type PoolStats struct {
 	Dials     int64 // connections opened
@@ -526,6 +533,18 @@ func (p *Pool) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 		return make([]kvcache.BatchResult, len(ops))
 	}
 	return res
+}
+
+// Keys fetches the server's live key list over a pooled connection; the
+// cluster membership-change handoff drains a remapped key share through it.
+func (p *Pool) Keys() ([]string, error) {
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	keys, err := c.Keys()
+	p.put(c, err)
+	return keys, err
 }
 
 // ServerStats fetches the server's counters over a pooled connection.

@@ -15,6 +15,7 @@
 //	incr <key> <delta>\r\n  (delta may be negative: memcached decr folded in)
 //	flush_all\r\n
 //	stats\r\n
+//	keys\r\n  (KEY <key> per live key then END; cluster key handoff uses it)
 //	quit\r\n
 //
 // Plus one extension beyond memcached's command set, used by the
@@ -540,6 +541,19 @@ func (c *serverConn) dispatch(fields [][]byte) (quit bool, err error) {
 	case "flush_all":
 		c.store.FlushAll()
 		w.WriteString("OK\r\n")
+		return false, nil
+	case "keys":
+		// Key enumeration for cluster handoff: one KEY line per live key,
+		// END-terminated like a get. Not a memcached command — memcached
+		// deliberately refuses key walks on production paths; here the
+		// consumer is the membership-change handoff pass, which is itself an
+		// O(keys) maintenance operation.
+		for _, k := range c.store.Keys() {
+			w.WriteString("KEY ")
+			w.WriteString(k)
+			w.WriteString("\r\n")
+		}
+		w.WriteString("END\r\n")
 		return false, nil
 	case "stats":
 		st := c.store.Stats()

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cachegenie/internal/kvcache"
@@ -17,6 +18,94 @@ import (
 // virtualNodes is how many ring positions each server occupies; more
 // positions smooth the key distribution.
 const virtualNodes = 128
+
+// HealthReporter is implemented by cache nodes that know whether they are
+// worth talking to right now. cacheproto.Pool reports its circuit-breaker
+// state through it; in-process stores don't implement it and are treated as
+// always healthy. The ring consults it before dialing: a read skips an
+// open-breaker replica without paying even the fail-fast round trip, and a
+// failover hit repopulates the preferred replica once it is healthy again.
+type HealthReporter interface {
+	Healthy() bool
+}
+
+// nodeHealthy treats nodes without a HealthReporter as healthy.
+func nodeHealthy(c kvcache.Cache) bool {
+	if hr, ok := c.(HealthReporter); ok {
+		return hr.Healthy()
+	}
+	return true
+}
+
+// Option configures a Ring or Manager.
+type Option func(*ringConfig)
+
+type ringConfig struct {
+	replicas      int
+	handoffWarmup bool
+}
+
+func defaultRingConfig() ringConfig {
+	return ringConfig{replicas: 1, handoffWarmup: true}
+}
+
+// WithReplicas sets the replication factor R: every key lives on the first R
+// distinct nodes walking the ring from its hash position. Writes, deletes,
+// increments and batch sub-ops fan out to all R replicas in parallel; reads
+// try the replicas in preference order, skipping nodes whose HealthReporter
+// says their breaker is open, and repopulate the preferred replica after a
+// failover hit. R <= 0 or 1 keeps the single-owner routing every experiment
+// before 10 ran; R larger than the node count is clamped to it.
+func WithReplicas(r int) Option {
+	return func(c *ringConfig) {
+		if r > 1 {
+			c.replicas = r
+		}
+	}
+}
+
+// WithHandoffWarmup controls whether Manager's membership-change key handoff
+// copies a remapped key to its new owners before deleting it from the prior
+// one (default true). Disabling it keeps the drain-and-delete consistency
+// fix but lets the new owners start cold.
+func WithHandoffWarmup(on bool) Option {
+	return func(c *ringConfig) { c.handoffWarmup = on }
+}
+
+// ReplicaStats counts replica-set routing activity. The counters live with
+// the Manager (or the Ring it was built from) and survive membership-change
+// ring rebuilds.
+type ReplicaStats struct {
+	// FailoverReads are reads served by a non-preferred replica (the
+	// preferred one was skipped as unhealthy or missed).
+	FailoverReads int64
+	// ReadRepairs are failover hits copied back onto the preferred replica.
+	ReadRepairs int64
+	// SkippedUnhealthy counts replicas an operation skipped because their
+	// breaker was open — the routing work a dead node no longer causes.
+	SkippedUnhealthy int64
+}
+
+// ReplicaStatsReporter is implemented by Ring and Manager; core.Genie uses
+// it to surface replica routing counters without knowing the cache topology.
+type ReplicaStatsReporter interface {
+	ReplicaStats() ReplicaStats
+}
+
+// replicaCounters is the shared atomic backing for ReplicaStats.
+type replicaCounters struct {
+	failover atomic.Int64
+	repairs  atomic.Int64
+	skipped  atomic.Int64
+}
+
+func (c *replicaCounters) snapshot() ReplicaStats {
+	return ReplicaStats{
+		FailoverReads:    c.failover.Load(),
+		ReadRepairs:      c.repairs.Load(),
+		SkippedUnhealthy: c.skipped.Load(),
+	}
+}
 
 // Ring is a consistent-hash ring of caches. It implements kvcache.Cache, so
 // the rest of the system cannot tell one server from many. Ring is immutable
@@ -33,6 +122,11 @@ type Ring struct {
 	nodes  []kvcache.Cache
 	hashes []uint64 // sorted ring positions
 	owner  []int    // owner[i] = node index for hashes[i]
+	// replicas is the effective replication factor R, clamped to [1, N].
+	// With replicas == 1 every operation routes exactly as it did before
+	// replica sets existed.
+	replicas int
+	counters *replicaCounters
 }
 
 var _ kvcache.Cache = (*Ring)(nil)
@@ -42,18 +136,19 @@ var _ kvcache.Cache = (*Ring)(nil)
 // membership; callers that will add or remove nodes should use NewRingIDs
 // (or Manager) with identities that survive renumbering — a server address,
 // for instance.
-func NewRing(nodes []kvcache.Cache) (*Ring, error) {
+func NewRing(nodes []kvcache.Cache, opts ...Option) (*Ring, error) {
 	ids := make([]string, len(nodes))
 	for i := range nodes {
 		ids[i] = fmt.Sprintf("node-%d", i)
 	}
-	return NewRingIDs(ids, nodes)
+	return NewRingIDs(ids, nodes, opts...)
 }
 
 // NewRingIDs builds a ring over the given caches with explicit stable node
 // identities. ids and nodes correspond by index; ids must be unique and
-// non-empty.
-func NewRingIDs(ids []string, nodes []kvcache.Cache) (*Ring, error) {
+// non-empty. WithReplicas turns the single-owner ring into one of replica
+// sets.
+func NewRingIDs(ids []string, nodes []kvcache.Cache, opts ...Option) (*Ring, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: ring needs at least one node")
 	}
@@ -70,7 +165,14 @@ func NewRingIDs(ids []string, nodes []kvcache.Cache) (*Ring, error) {
 		}
 		seen[id] = struct{}{}
 	}
-	r := &Ring{ids: ids, nodes: nodes}
+	cfg := defaultRingConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.replicas > len(nodes) {
+		cfg.replicas = len(nodes)
+	}
+	r := &Ring{ids: ids, nodes: nodes, replicas: cfg.replicas, counters: &replicaCounters{}}
 	for ni, id := range ids {
 		for v := 0; v < virtualNodes; v++ {
 			h := hash64(fmt.Sprintf("%s-vn-%d", id, v))
@@ -109,7 +211,8 @@ func hash64(s string) uint64 {
 	return x
 }
 
-// NodeFor returns the index of the node owning key.
+// NodeFor returns the index of the node owning key — with replication, the
+// key's preferred replica (ReplicasFor(key)[0]).
 func (r *Ring) NodeFor(key string) int {
 	h := hash64(key)
 	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
@@ -120,6 +223,129 @@ func (r *Ring) NodeFor(key string) int {
 }
 
 func (r *Ring) pick(key string) kvcache.Cache { return r.nodes[r.NodeFor(key)] }
+
+// Replicas reports the effective replication factor R (clamped to the node
+// count).
+func (r *Ring) Replicas() int { return r.replicas }
+
+// ReplicasFor returns the key's replica set: the indices of the first R
+// *distinct* nodes met walking the ring clockwise from the key's hash
+// position, preference order first. Consecutive vnodes of the same node
+// collapse, so the set never contains duplicates even when one node's
+// vnodes cluster. ReplicasFor(key)[0] == NodeFor(key) always.
+func (r *Ring) ReplicasFor(key string) []int {
+	return r.replicasAppend(key, make([]int, 0, r.replicas))
+}
+
+// replicasAppend is ReplicasFor into a caller-owned buffer (hot paths reuse
+// one across a batch).
+func (r *Ring) replicasAppend(key string, out []int) []int {
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	for n := 0; n < len(r.hashes) && len(out) < r.replicas; n++ {
+		cand := r.owner[(i+n)%len(r.hashes)]
+		dup := false
+		for _, have := range out {
+			if have == cand {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// ReplicaStats implements ReplicaStatsReporter.
+func (r *Ring) ReplicaStats() ReplicaStats { return r.counters.snapshot() }
+
+// eachReplica runs f once per replica node, concurrently when there is more
+// than one — the same max-node-not-sum-of-node shape as the batch fan-out,
+// so an R-way write costs the slowest replica's round trip.
+func (r *Ring) eachReplica(reps []int, f func(ni int, c kvcache.Cache)) {
+	if len(reps) == 1 {
+		f(reps[0], r.nodes[reps[0]])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ni := range reps[1:] {
+		wg.Add(1)
+		go func(ni int) {
+			defer wg.Done()
+			f(ni, r.nodes[ni])
+		}(ni)
+	}
+	f(reps[0], r.nodes[reps[0]])
+	wg.Wait()
+}
+
+// preferredHealthy returns the position in reps of the first healthy
+// replica, counting the skips; falls back to 0 when every replica's breaker
+// is open (the preferred replica's pool then fails fast, degrading to a
+// miss, which is the correct all-nodes-down behaviour).
+func (r *Ring) preferredHealthy(reps []int) int {
+	for pos, ni := range reps {
+		if nodeHealthy(r.nodes[ni]) {
+			if pos > 0 {
+				r.counters.skipped.Add(int64(pos))
+			}
+			return pos
+		}
+	}
+	r.counters.skipped.Add(int64(len(reps)))
+	return 0
+}
+
+// getReplicated is the R > 1 read path: try replicas in preference order,
+// skipping open-breaker nodes before dialing; a hit on a non-preferred
+// replica counts as a failover read and is copied back onto the preferred
+// replica (read-repair) when that one is healthy. The repair uses Add, not
+// Set: if a trigger write beat the repair to the preferred replica, its
+// fresher value wins. The repaired entry carries no TTL (the origin TTL is
+// not recoverable from a get) — trigger invalidations still reach it, since
+// deletes fan out to the whole replica set.
+func (r *Ring) getReplicated(key string) ([]byte, bool) {
+	var reps [maxStackReplicas]int
+	set := r.replicasAppend(key, reps[:0])
+	skipped := 0
+	for pos, ni := range set {
+		node := r.nodes[ni]
+		if !nodeHealthy(node) {
+			skipped++
+			continue
+		}
+		v, ok := node.Get(key)
+		if !ok {
+			continue
+		}
+		if pos > 0 {
+			r.counters.failover.Add(1)
+			if pref := r.nodes[set[0]]; nodeHealthy(pref) {
+				if pref.Add(key, v, 0) {
+					r.counters.repairs.Add(1)
+				}
+			}
+		}
+		if skipped > 0 {
+			r.counters.skipped.Add(int64(skipped))
+		}
+		return v, true
+	}
+	if skipped > 0 {
+		r.counters.skipped.Add(int64(skipped))
+	}
+	return nil, false
+}
+
+// maxStackReplicas bounds the stack-allocated replica-set buffer; rings
+// with more replicas than this spill to the heap per op, which is fine —
+// nobody runs R > 8.
+const maxStackReplicas = 8
 
 // NumNodes reports ring membership size.
 func (r *Ring) NumNodes() int { return len(r.nodes) }
@@ -133,32 +359,141 @@ func (r *Ring) NodeIDs() []string { return append([]string(nil), r.ids...) }
 // OwnerID returns the stable identity of the node owning key.
 func (r *Ring) OwnerID(key string) string { return r.ids[r.NodeFor(key)] }
 
-// Get implements kvcache.Cache.
-func (r *Ring) Get(key string) ([]byte, bool) { return r.pick(key).Get(key) }
+// Get implements kvcache.Cache. With replication it tries the key's
+// replicas in preference order (skipping open breakers) and read-repairs
+// the preferred replica after a failover hit.
+func (r *Ring) Get(key string) ([]byte, bool) {
+	if r.replicas == 1 {
+		return r.pick(key).Get(key)
+	}
+	return r.getReplicated(key)
+}
 
-// Gets implements kvcache.Cache.
-func (r *Ring) Gets(key string) ([]byte, uint64, bool) { return r.pick(key).Gets(key) }
+// Gets implements kvcache.Cache. A CAS token is only meaningful against the
+// node that issued it, so Gets routes to the first *healthy* replica and
+// does not fail over on a plain miss — the matching Cas picks the same node
+// as long as health holds, which is what makes the gets/cas pair coherent.
+// (If health flips between the two calls, the Cas lands on a node with no
+// such token and reports NOT_FOUND; callers already treat that as a lost
+// race and recompute.)
+func (r *Ring) Gets(key string) ([]byte, uint64, bool) {
+	if r.replicas == 1 {
+		return r.pick(key).Gets(key)
+	}
+	var reps [maxStackReplicas]int
+	set := r.replicasAppend(key, reps[:0])
+	return r.nodes[set[r.preferredHealthy(set)]].Gets(key)
+}
 
-// Set implements kvcache.Cache.
+// Set implements kvcache.Cache; with replication it fans out to all R
+// replicas in parallel.
 func (r *Ring) Set(key string, value []byte, ttl time.Duration) {
-	r.pick(key).Set(key, value, ttl)
+	if r.replicas == 1 {
+		r.pick(key).Set(key, value, ttl)
+		return
+	}
+	var reps [maxStackReplicas]int
+	r.eachReplica(r.replicasAppend(key, reps[:0]), func(_ int, c kvcache.Cache) {
+		c.Set(key, value, ttl)
+	})
 }
 
-// Add implements kvcache.Cache.
+// Add implements kvcache.Cache; with replication it fans out to all R
+// replicas and reports the first healthy replica's outcome (replicas that
+// already held the key keep their value — the divergence, if any, heals
+// through reads preferring the same replica order and through the next
+// fan-out write).
 func (r *Ring) Add(key string, value []byte, ttl time.Duration) bool {
-	return r.pick(key).Add(key, value, ttl)
+	if r.replicas == 1 {
+		return r.pick(key).Add(key, value, ttl)
+	}
+	var reps [maxStackReplicas]int
+	set := r.replicasAppend(key, reps[:0])
+	decider := set[r.preferredHealthy(set)]
+	var stored atomic.Bool
+	r.eachReplica(set, func(ni int, c kvcache.Cache) {
+		ok := c.Add(key, value, ttl)
+		if ni == decider {
+			stored.Store(ok)
+		}
+	})
+	return stored.Load()
 }
 
-// Cas implements kvcache.Cache.
+// Cas implements kvcache.Cache. The compare-and-swap itself runs against
+// the first healthy replica only — the one Gets handed out the token for —
+// and on success the winning value propagates to the remaining replicas as
+// plain sets (their tokens are from a different sequence and cannot be
+// compared against). A concurrent Cas on the same key therefore serializes
+// on the preferred replica, which is what makes ring CAS linearizable per
+// key while health is stable.
 func (r *Ring) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
-	return r.pick(key).Cas(key, value, ttl, cas)
+	if r.replicas == 1 {
+		return r.pick(key).Cas(key, value, ttl, cas)
+	}
+	var reps [maxStackReplicas]int
+	set := r.replicasAppend(key, reps[:0])
+	pos := r.preferredHealthy(set)
+	res := r.nodes[set[pos]].Cas(key, value, ttl, cas)
+	if res != kvcache.CasStored {
+		return res
+	}
+	rest := make([]int, 0, len(set)-1)
+	for i, ni := range set {
+		if i != pos {
+			rest = append(rest, ni)
+		}
+	}
+	if len(rest) > 0 {
+		r.eachReplica(rest, func(_ int, c kvcache.Cache) {
+			c.Set(key, value, ttl)
+		})
+	}
+	return res
 }
 
-// Delete implements kvcache.Cache.
-func (r *Ring) Delete(key string) bool { return r.pick(key).Delete(key) }
+// Delete implements kvcache.Cache; with replication the delete fans out to
+// every replica (trigger invalidations must not leave a stale copy behind)
+// and reports whether any replica held the key.
+func (r *Ring) Delete(key string) bool {
+	if r.replicas == 1 {
+		return r.pick(key).Delete(key)
+	}
+	var reps [maxStackReplicas]int
+	var found atomic.Bool
+	r.eachReplica(r.replicasAppend(key, reps[:0]), func(_ int, c kvcache.Cache) {
+		if c.Delete(key) {
+			found.Store(true)
+		}
+	})
+	return found.Load()
+}
 
-// Incr implements kvcache.Cache.
-func (r *Ring) Incr(key string, delta int64) (int64, bool) { return r.pick(key).Incr(key, delta) }
+// Incr implements kvcache.Cache; with replication the increment fans out to
+// every replica and the first healthy replica's result is reported. A
+// replica that lost the key (eviction, rejoined cold) misses its increment
+// — the divergence window documented on the package; reads prefer the same
+// replica the result came from.
+func (r *Ring) Incr(key string, delta int64) (int64, bool) {
+	if r.replicas == 1 {
+		return r.pick(key).Incr(key, delta)
+	}
+	var reps [maxStackReplicas]int
+	set := r.replicasAppend(key, reps[:0])
+	decider := set[r.preferredHealthy(set)]
+	var (
+		n  atomic.Int64
+		ok atomic.Bool
+	)
+	r.eachReplica(set, func(ni int, c kvcache.Cache) {
+		v, found := c.Incr(key, delta)
+		if ni == decider {
+			n.Store(v)
+			ok.Store(found)
+		}
+	})
+	return n.Load(), ok.Load()
+}
 
 var _ kvcache.BatchApplier = (*Ring)(nil)
 
@@ -172,6 +507,9 @@ var _ kvcache.BatchApplier = (*Ring)(nil)
 func (r *Ring) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 	if len(ops) == 0 {
 		return nil
+	}
+	if r.replicas > 1 {
+		return r.applyBatchReplicated(ops)
 	}
 	// Fast path: a batch wholly owned by one node forwards as-is.
 	first := r.NodeFor(ops[0].Key)
@@ -208,6 +546,70 @@ func (r *Ring) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 		}(n, idxs)
 	}
 	wg.Wait()
+	return out
+}
+
+// applyBatchReplicated fans each op out to its key's whole replica set: one
+// sub-batch per node carrying every op whose replica set contains that node,
+// applied concurrently (max-node cost, as in the single-owner path). An op's
+// relative order is preserved inside every node's sub-batch, so per-key
+// ordering — the invalidation bus's contract — holds on every replica. Each
+// op reports the result from the first replica that was healthy when the
+// batch was routed; delete results additionally OR across replicas so
+// "found" means "some replica held it", matching Ring.Delete.
+func (r *Ring) applyBatchReplicated(ops []kvcache.BatchOp) []kvcache.BatchResult {
+	healthyNode := make([]bool, len(r.nodes))
+	for i, n := range r.nodes {
+		healthyNode[i] = nodeHealthy(n)
+	}
+	byNode := make(map[int][]int)
+	decider := make([]int, len(ops))
+	var buf [maxStackReplicas]int
+	for i := range ops {
+		set := r.replicasAppend(ops[i].Key, buf[:0])
+		decider[i] = set[0]
+		chosen := false
+		for _, ni := range set {
+			byNode[ni] = append(byNode[ni], i)
+			if !chosen && healthyNode[ni] {
+				decider[i] = ni
+				chosen = true
+			}
+		}
+	}
+	out := make([]kvcache.BatchResult, len(ops))
+	results := make(map[int][]kvcache.BatchResult, len(byNode))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for n, idxs := range byNode {
+		wg.Add(1)
+		go func(n int, idxs []int) {
+			defer wg.Done()
+			sub := make([]kvcache.BatchOp, len(idxs))
+			for j, i := range idxs {
+				sub[j] = ops[i]
+			}
+			res := kvcache.ApplyBatchOn(r.nodes[n], sub)
+			mu.Lock()
+			results[n] = res
+			mu.Unlock()
+		}(n, idxs)
+	}
+	wg.Wait()
+	for n, idxs := range byNode {
+		res := results[n]
+		for j, i := range idxs {
+			if decider[i] == n {
+				found := out[i].Found // a delete may already have OR-ed in
+				out[i] = res[j]
+				if ops[i].Kind == kvcache.BatchDelete {
+					out[i].Found = out[i].Found || found
+				}
+			} else if ops[i].Kind == kvcache.BatchDelete && res[j].Found {
+				out[i].Found = true
+			}
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"cachegenie/internal/kvcache"
+)
+
+// TestHandoffWarmupOnAddNode: when a node joins, every key remapping to it
+// is copied from its prior owner (warmup) and the prior owner's now-orphaned
+// copy is deleted — the join migrates the share instead of starting it cold
+// and leaving debris behind.
+func TestHandoffWarmupOnAddNode(t *testing.T) {
+	storeA, storeB := kvcache.New(0), kvcache.New(0)
+	m, err := NewManager([]string{"A"}, []kvcache.Cache{storeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		m.Set(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("v%d", i)), 0)
+	}
+	if err := m.AddNode("B", storeB); err != nil {
+		t.Fatal(err)
+	}
+	movedToB := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		onA, _ := storeA.GetQuiet(k)
+		onB, okB := storeB.GetQuiet(k)
+		switch m.OwnerID(k) {
+		case "B":
+			movedToB++
+			if !okB || string(onB) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("%s not warmed onto B: %q/%v", k, onB, okB)
+			}
+			if onA != nil {
+				t.Fatalf("%s still on prior owner A after handoff", k)
+			}
+		case "A":
+			if _, okA := storeA.GetQuiet(k); !okA {
+				t.Fatalf("%s lost from its unchanged owner", k)
+			}
+			if okB {
+				t.Fatalf("%s leaked onto B although A owns it", k)
+			}
+		}
+	}
+	if movedToB == 0 {
+		t.Fatal("no keys remapped to the joining node — test proves nothing")
+	}
+	hs := m.HandoffStats()
+	if hs.Copied != int64(movedToB) || hs.Drained != int64(movedToB) {
+		t.Fatalf("handoff stats = %+v, want %d copied and drained", hs, movedToB)
+	}
+	if hs.SkippedNodes != 0 {
+		t.Fatalf("skipped nodes = %d on an all-enumerable ring", hs.SkippedNodes)
+	}
+}
+
+// TestHandoffDrainOnRemoveNode: a graceful leave migrates the leaver's
+// whole share to the survivors and empties the leaver, so nothing on it can
+// go stale while it is out of the ring.
+func TestHandoffDrainOnRemoveNode(t *testing.T) {
+	m, ids, stores := newTestManager(t, 2)
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		m.Set(fmt.Sprintf("key-%d", i), []byte("v"), 0)
+	}
+	if err := m.RemoveNode(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if n := stores[1].Len(); n != 0 {
+		t.Fatalf("leaver still holds %d keys after drain", n)
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if _, ok := m.Get(k); !ok {
+			t.Fatalf("%s lost in the leave (should have been copied to the survivor)", k)
+		}
+	}
+}
+
+// unlistableNode hides a store's Keys method, standing in for a node that
+// cannot be enumerated (a dead process, or a server without the keys
+// command).
+type unlistableNode struct{ kvcache.Cache }
+
+// TestHandoffPreventsStaleResurface is the regression test for the orphan
+// scenario the PR-3 Manager documented as its known hole: a key's copy left
+// on a node that was out of the ring while the key was rewritten must not
+// resurface when the node rejoins — even when the node could not be drained
+// at leave time (it was dead). AddNode flushes the rejoiner before it
+// re-enters the ring (pre-join contents are invalidation-orphaned by
+// construction — enumerability doesn't matter, FlushAll is in the Cache
+// interface), then the handoff copy lands the prior owner's fresh value.
+func TestHandoffPreventsStaleResurface(t *testing.T) {
+	storeA, storeB := kvcache.New(0), kvcache.New(0)
+	nodeB := &unlistableNode{Cache: storeB}
+	m, err := NewManager([]string{"A", "B"}, []kvcache.Cache{storeA, nodeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find keys B owns, write v1 everywhere.
+	var bKeys []string
+	for i := 0; len(bKeys) < 20; i++ {
+		k := fmt.Sprintf("stale-%d", i)
+		if m.OwnerID(k) == "B" {
+			bKeys = append(bKeys, k)
+		}
+	}
+	for _, k := range bKeys {
+		m.Set(k, []byte("v1"), 0)
+	}
+	// B "dies": RemoveNode cannot drain it (unlistable), so its copies stay.
+	if err := m.RemoveNode("B"); err != nil {
+		t.Fatal(err)
+	}
+	if m.HandoffStats().SkippedNodes == 0 {
+		t.Fatal("unlistable leaver was not counted as skipped")
+	}
+	for _, k := range bKeys {
+		if _, ok := storeB.GetQuiet(k); !ok {
+			t.Fatalf("%s drained from an unlistable node — the test setup is wrong", k)
+		}
+	}
+	// The keys are rewritten while B is out: B's copies are now stale.
+	for _, k := range bKeys {
+		m.Set(k, []byte("v2"), 0)
+	}
+	// B rejoins, still holding v1. The handoff copy pass must overwrite it.
+	if err := m.AddNode("B", nodeB); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range bKeys {
+		if v, ok := m.Get(k); !ok || string(v) != "v2" {
+			t.Fatalf("%s = %q/%v after rejoin — pre-outage value resurfaced", k, v, ok)
+		}
+		if v, ok := storeB.GetQuiet(k); !ok || string(v) != "v2" {
+			t.Fatalf("%s on rejoined node = %q/%v, want the fresh copy", k, v, ok)
+		}
+	}
+}
+
+// TestHandoffDropsPreLeaveLeftovers: a rejoining node holding debris from
+// before its outage has it dropped (the pre-join flush) rather than left
+// orphaned beyond invalidation's reach, regardless of whether the current
+// ring maps those keys to it.
+func TestHandoffDropsPreLeaveLeftovers(t *testing.T) {
+	storeA, storeB := kvcache.New(0), kvcache.New(0)
+	m, err := NewManager([]string{"A"}, []kvcache.Cache{storeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Debris on B from "before its outage": keys that will belong to A
+	// even after B joins.
+	var aKeys []string
+	probe, _ := NewRingIDs([]string{"A", "B"}, []kvcache.Cache{storeA, storeB})
+	for i := 0; len(aKeys) < 20; i++ {
+		k := fmt.Sprintf("debris-%d", i)
+		if probe.OwnerID(k) == "A" {
+			aKeys = append(aKeys, k)
+			storeB.Set(k, []byte("ancient"), 0)
+			m.Set(k, []byte("fresh"), 0)
+		}
+	}
+	if err := m.AddNode("B", storeB); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range aKeys {
+		if _, ok := storeB.GetQuiet(k); ok {
+			t.Fatalf("%s survived on B although A owns it — orphan not drained", k)
+		}
+		if v, ok := m.Get(k); !ok || string(v) != "fresh" {
+			t.Fatalf("%s = %q/%v", k, v, ok)
+		}
+	}
+}
+
+// TestHandoffWarmupDisabled: WithHandoffWarmup(false) keeps the
+// drain-and-delete consistency fix but skips the copies — remapped keys
+// start cold on their new owner.
+func TestHandoffWarmupDisabled(t *testing.T) {
+	storeA, storeB := kvcache.New(0), kvcache.New(0)
+	m, err := NewManager([]string{"A"}, []kvcache.Cache{storeA}, WithHandoffWarmup(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		m.Set(fmt.Sprintf("key-%d", i), []byte("v"), 0)
+	}
+	if err := m.AddNode("B", storeB); err != nil {
+		t.Fatal(err)
+	}
+	if storeB.Len() != 0 {
+		t.Fatalf("warmup disabled but B holds %d keys", storeB.Len())
+	}
+	hs := m.HandoffStats()
+	if hs.Copied != 0 || hs.Drained == 0 {
+		t.Fatalf("handoff stats = %+v, want drain without copies", hs)
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if m.OwnerID(k) == "A" {
+			if _, ok := m.Get(k); !ok {
+				t.Fatalf("%s lost from its unchanged owner", k)
+			}
+		}
+	}
+}
+
+// TestReplicatedManagerHandoff: with R=2 on three nodes, a leave keeps every
+// key fully replicated on the survivors and a rejoin restores the original
+// replica sets with warm copies — end to end through the Manager.
+func TestReplicatedManagerHandoff(t *testing.T) {
+	ids := []string{"A", "B", "C"}
+	stores := []*kvcache.Store{kvcache.New(0), kvcache.New(0), kvcache.New(0)}
+	m, err := NewManager(ids, []kvcache.Cache{stores[0], stores[1], stores[2]}, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		m.Set(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("v%d", i)), 0)
+	}
+	if err := m.RemoveNode("B"); err != nil {
+		t.Fatal(err)
+	}
+	if n := stores[1].Len(); n != 0 {
+		t.Fatalf("leaver holds %d keys after drain", n)
+	}
+	byID := map[string]*kvcache.Store{"A": stores[0], "B": stores[1], "C": stores[2]}
+	check := func() {
+		t.Helper()
+		ring := m.Ring()
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			owners := map[string]bool{}
+			for _, ni := range ring.ReplicasFor(k) {
+				owners[ring.NodeID(ni)] = true
+			}
+			for id, s := range byID {
+				_, ok := s.GetQuiet(k)
+				if owners[id] && !ok {
+					t.Fatalf("%s missing on replica %s", k, id)
+				}
+				if !owners[id] && ok {
+					t.Fatalf("%s orphaned on non-replica %s", k, id)
+				}
+			}
+		}
+	}
+	check()
+	if err := m.AddNode("B", stores[1]); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}

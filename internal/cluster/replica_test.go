@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cachegenie/internal/cacheproto"
+	"cachegenie/internal/kvcache"
+)
+
+func newReplicatedRing(t *testing.T, n, replicas int) (*Ring, []*kvcache.Store) {
+	t.Helper()
+	stores := make([]*kvcache.Store, n)
+	nodes := make([]kvcache.Cache, n)
+	for i := range stores {
+		stores[i] = kvcache.New(0)
+		nodes[i] = stores[i]
+	}
+	r, err := NewRing(nodes, WithReplicas(replicas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, stores
+}
+
+// TestReplicasForDistinct: the replica set is always R distinct nodes (R
+// clamped to N), preference-first, with the preferred replica equal to the
+// single-owner NodeFor — even where one node's vnodes cluster consecutively
+// on the ring, the walk collapses them instead of listing a node twice.
+func TestReplicasForDistinct(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		for _, req := range []int{1, 2, 3, n + 3} {
+			r, _ := newReplicatedRing(t, n, req)
+			want := req
+			if want < 1 {
+				want = 1
+			}
+			if want > n {
+				want = n
+			}
+			if r.Replicas() != want {
+				t.Fatalf("n=%d req=%d: Replicas() = %d, want %d", n, req, r.Replicas(), want)
+			}
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", i)
+				set := r.ReplicasFor(k)
+				if len(set) != want {
+					t.Fatalf("n=%d req=%d: ReplicasFor(%s) = %v, want %d nodes", n, req, k, set, want)
+				}
+				if set[0] != r.NodeFor(k) {
+					t.Fatalf("preferred replica %d != NodeFor %d", set[0], r.NodeFor(k))
+				}
+				seen := map[int]bool{}
+				for _, ni := range set {
+					if ni < 0 || ni >= n {
+						t.Fatalf("replica index %d out of range", ni)
+					}
+					if seen[ni] {
+						t.Fatalf("ReplicasFor(%s) = %v has duplicate node %d", k, set, ni)
+					}
+					seen[ni] = true
+				}
+			}
+		}
+	}
+}
+
+// TestReplicatedWritesReachAllReplicas: sets, deletes and increments fan out
+// to exactly the key's replica set — every replica holds the value, no
+// non-replica does.
+func TestReplicatedWritesReachAllReplicas(t *testing.T) {
+	r, stores := newReplicatedRing(t, 3, 2)
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		r.Set(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("v%d", i)), 0)
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		owners := map[int]bool{}
+		for _, ni := range r.ReplicasFor(k) {
+			owners[ni] = true
+		}
+		for ni, s := range stores {
+			v, ok := s.GetQuiet(k)
+			if ok != owners[ni] {
+				t.Fatalf("%s: present=%v on node %d, replicas %v", k, ok, ni, r.ReplicasFor(k))
+			}
+			if ok && string(v) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("%s on node %d = %q", k, ni, v)
+			}
+		}
+	}
+
+	// Incr reaches every replica and reports the preferred result.
+	r.Set("ctr", []byte("5"), 0)
+	if n, ok := r.Incr("ctr", 3); !ok || n != 8 {
+		t.Fatalf("Incr = %d, %v", n, ok)
+	}
+	for _, ni := range r.ReplicasFor("ctr") {
+		if v, ok := stores[ni].GetQuiet("ctr"); !ok || string(v) != "8" {
+			t.Fatalf("ctr on replica %d = %q, %v", ni, v, ok)
+		}
+	}
+
+	// Delete removes every copy and reports presence.
+	if !r.Delete("key-0") {
+		t.Fatal("Delete = false for a present key")
+	}
+	for ni, s := range stores {
+		if _, ok := s.GetQuiet("key-0"); ok {
+			t.Fatalf("key-0 survived delete on node %d", ni)
+		}
+	}
+	if r.Delete("key-0") {
+		t.Fatal("second Delete = true")
+	}
+
+	// Add fans out too.
+	if !r.Add("added", []byte("a"), 0) {
+		t.Fatal("Add = false")
+	}
+	for _, ni := range r.ReplicasFor("added") {
+		if _, ok := stores[ni].GetQuiet("added"); !ok {
+			t.Fatalf("added missing on replica %d", ni)
+		}
+	}
+	if r.Add("added", []byte("b"), 0) {
+		t.Fatal("second Add = true")
+	}
+}
+
+// TestInvalidationDeleteReachesAllReplicas is the regression test for the
+// trigger-maintenance contract under replication: a delete riding a batch —
+// the invalidation bus's flush path — must remove every replica's copy, not
+// just the preferred one.
+func TestInvalidationDeleteReachesAllReplicas(t *testing.T) {
+	r, stores := newReplicatedRing(t, 4, 3)
+	var ops []kvcache.BatchOp
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("inv-%d", i)
+		r.Set(k, []byte("v"), 0)
+		ops = append(ops, kvcache.BatchOp{Kind: kvcache.BatchDelete, Key: k})
+	}
+	res := r.ApplyBatch(ops)
+	for i, br := range res {
+		if !br.Found {
+			t.Fatalf("delete %d reported not found", i)
+		}
+	}
+	for ni, s := range stores {
+		if s.Len() != 0 {
+			t.Fatalf("node %d still holds %d entries after replicated invalidation", ni, s.Len())
+		}
+	}
+}
+
+// TestReplicatedApplyBatchOrdering: per-key op order is preserved on every
+// replica (same final state everywhere) and results come back in input
+// order from the preferred replica.
+func TestReplicatedApplyBatchOrdering(t *testing.T) {
+	r, stores := newReplicatedRing(t, 3, 2)
+	var ops []kvcache.BatchOp
+	const keys = 16
+	for round := 0; round < 8; round++ {
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("ord-%d", i)
+			ops = append(ops,
+				kvcache.BatchOp{Kind: kvcache.BatchSet, Key: k, Value: []byte(fmt.Sprintf("%d", round*10))},
+				kvcache.BatchOp{Kind: kvcache.BatchIncr, Key: k, Delta: 1},
+			)
+		}
+	}
+	res := r.ApplyBatch(ops)
+	if len(res) != len(ops) {
+		t.Fatalf("results = %d, want %d", len(res), len(ops))
+	}
+	for oi, op := range ops {
+		if op.Kind == kvcache.BatchIncr && !res[oi].Found {
+			t.Fatalf("incr %d lost its preceding set", oi)
+		}
+	}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("ord-%d", i)
+		want := "71" // last round: set 70 then incr
+		for _, ni := range r.ReplicasFor(k) {
+			v, ok := stores[ni].GetQuiet(k)
+			if !ok || string(v) != want {
+				t.Fatalf("%s on replica %d = %q/%v, want %q", k, ni, v, ok, want)
+			}
+		}
+	}
+}
+
+// flakyNode wraps a store with a switchable health report, standing in for
+// a pool whose breaker opened.
+type flakyNode struct {
+	kvcache.Cache
+	healthy atomic.Bool
+}
+
+func (f *flakyNode) Healthy() bool { return f.healthy.Load() }
+
+// TestBreakerAwareFailoverAndReadRepair drives the read path through both
+// failover shapes: an unhealthy preferred replica is skipped before any
+// lookup (no repair attempted at it while its breaker is open), and a
+// healthy-but-cold preferred replica is repopulated from the failover hit.
+func TestBreakerAwareFailoverAndReadRepair(t *testing.T) {
+	stores := []*kvcache.Store{kvcache.New(0), kvcache.New(0)}
+	flaky := []*flakyNode{{Cache: stores[0]}, {Cache: stores[1]}}
+	flaky[0].healthy.Store(true)
+	flaky[1].healthy.Store(true)
+	r, err := NewRing([]kvcache.Cache{flaky[0], flaky[1]}, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A key whose preferred replica is node 0 keeps the scenario readable.
+	key := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("failover-%d", i)
+		if r.NodeFor(k) == 0 {
+			key = k
+			break
+		}
+	}
+	r.Set(key, []byte("v1"), 0)
+
+	// Open breaker on the preferred replica: the read must skip it without
+	// touching it and serve from the second replica — and must not try to
+	// repair a node whose breaker is open.
+	flaky[0].healthy.Store(false)
+	stores[0].Delete(key) // simulate the node's copy being gone with it
+	if v, ok := r.Get(key); !ok || string(v) != "v1" {
+		t.Fatalf("failover Get = %q, %v", v, ok)
+	}
+	st := r.ReplicaStats()
+	if st.FailoverReads != 1 || st.SkippedUnhealthy == 0 {
+		t.Fatalf("stats after skip-failover = %+v", st)
+	}
+	if st.ReadRepairs != 0 {
+		t.Fatalf("read-repaired an open-breaker node: %+v", st)
+	}
+	if _, ok := stores[0].GetQuiet(key); ok {
+		t.Fatal("value appeared on the unhealthy node")
+	}
+
+	// Gets routes to the first healthy replica so a Cas with its token
+	// lands on the same node.
+	v, tok, ok := r.Gets(key)
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Gets under open breaker = %q, %v", v, ok)
+	}
+	if res := r.Cas(key, []byte("v2"), 0, tok); res != kvcache.CasStored {
+		t.Fatalf("Cas with failover token = %v", res)
+	}
+
+	// Preferred replica healthy again but cold (revived): the next failover
+	// hit read-repairs it. (The Cas propagation above re-Set the key on
+	// node 0 — clear it again to model the cold restart.)
+	stores[0].Delete(key)
+	flaky[0].healthy.Store(true)
+	if v, ok := r.Get(key); !ok || string(v) != "v2" {
+		t.Fatalf("Get after recovery = %q, %v", v, ok)
+	}
+	st = r.ReplicaStats()
+	if st.FailoverReads != 2 || st.ReadRepairs != 1 {
+		t.Fatalf("stats after read-repair = %+v", st)
+	}
+	if v, ok := stores[0].GetQuiet(key); !ok || string(v) != "v2" {
+		t.Fatalf("preferred replica not repaired: %q, %v", v, ok)
+	}
+
+	// With the repaired copy in place the read is a plain preferred-replica
+	// hit again.
+	if v, ok := r.Get(key); !ok || string(v) != "v2" {
+		t.Fatalf("Get after repair = %q, %v", v, ok)
+	}
+	if got := r.ReplicaStats().FailoverReads; got != 2 {
+		t.Fatalf("FailoverReads grew to %d on a healthy read", got)
+	}
+}
+
+// TestReplicatedFailoverKilledNodeRace runs concurrent replicated traffic
+// through real cacheproto pools while one of the two nodes is killed:
+// no panics or races (run under -race), every key stays readable via its
+// surviving replica, and the ring records failover reads.
+func TestReplicatedFailoverKilledNodeRace(t *testing.T) {
+	stores := make([]*kvcache.Store, 2)
+	servers := make([]*cacheproto.Server, 2)
+	pools := make([]*cacheproto.Pool, 2)
+	nodes := make([]kvcache.Cache, 2)
+	ids := make([]string, 2)
+	for i := range stores {
+		stores[i] = kvcache.New(0)
+		servers[i] = cacheproto.NewServer(stores[i])
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[i] = cacheproto.NewPoolWithConfig(cacheproto.PoolConfig{
+			Addr:          addr,
+			FailThreshold: 2,
+			ProbeInterval: 10 * time.Millisecond,
+			OpTimeout:     2 * time.Second,
+		})
+		nodes[i] = pools[i]
+		ids[i] = addr
+	}
+	defer func() {
+		for i := range pools {
+			_ = pools[i].Close()
+			_ = servers[i].Close()
+		}
+	}()
+	r, err := NewRingIDs(ids, nodes, WithReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		r.Set(fmt.Sprintf("race-%d", i), []byte(fmt.Sprintf("v%d", i)), 0)
+	}
+	if err := servers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("race-%d", (g*53+i)%keys)
+				switch i % 3 {
+				case 0:
+					r.Get(k)
+				case 1:
+					r.Set(k, []byte("w"), 0)
+				default:
+					r.ApplyBatch([]kvcache.BatchOp{{Kind: kvcache.BatchSet, Key: k, Value: []byte("b")}})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("race-%d", i)
+		if _, ok := r.Get(k); !ok {
+			t.Fatalf("%s unreadable with one of two replicas dead", k)
+		}
+	}
+	st := r.ReplicaStats()
+	if st.FailoverReads == 0 {
+		t.Fatalf("no failover reads recorded: %+v", st)
+	}
+}

@@ -12,6 +12,11 @@ const (
 	BatchDelete BatchOpKind = iota
 	BatchSet
 	BatchIncr
+	// BatchAdd stores only if the key is absent, like Cache.Add. Cluster
+	// key-handoff warmup rides on it: a batch of adds copies a remapped
+	// share to its new owner without clobbering any fresher value a
+	// concurrent write already landed there.
+	BatchAdd
 )
 
 // String implements fmt.Stringer.
@@ -23,6 +28,8 @@ func (k BatchOpKind) String() string {
 		return "set"
 	case BatchIncr:
 		return "incr"
+	case BatchAdd:
+		return "add"
 	}
 	return "unknown"
 }
@@ -31,8 +38,8 @@ func (k BatchOpKind) String() string {
 type BatchOp struct {
 	Kind  BatchOpKind
 	Key   string
-	Value []byte        // BatchSet payload
-	TTL   time.Duration // BatchSet entry lifetime (0 = no expiry)
+	Value []byte        // BatchSet / BatchAdd payload
+	TTL   time.Duration // BatchSet / BatchAdd entry lifetime (0 = no expiry)
 	Delta int64         // BatchIncr increment (may be negative)
 }
 
@@ -66,6 +73,8 @@ func ApplyBatchOn(c Cache, ops []BatchOp) []BatchResult {
 		case BatchSet:
 			c.Set(op.Key, op.Value, op.TTL)
 			out[i] = BatchResult{Found: true}
+		case BatchAdd:
+			out[i] = BatchResult{Found: c.Add(op.Key, op.Value, op.TTL)}
 		case BatchIncr:
 			n, ok := c.Incr(op.Key, op.Delta)
 			out[i] = BatchResult{Found: ok, Value: n}
@@ -151,6 +160,12 @@ func (s *Store) ApplyBatch(ops []BatchOp) []BatchResult {
 func (s *Store) applyOpLocked(sh *shard, op *BatchOp) BatchResult {
 	switch op.Kind {
 	case BatchSet:
+		s.setLocked(sh, op.Key, op.Value, op.TTL, true)
+		return BatchResult{Found: true}
+	case BatchAdd:
+		if e, ok := sh.items[op.Key]; ok && !s.expiredLocked(sh, e) {
+			return BatchResult{}
+		}
 		s.setLocked(sh, op.Key, op.Value, op.TTL, true)
 		return BatchResult{Found: true}
 	case BatchIncr:

@@ -652,6 +652,29 @@ func (s *Store) ResetStats() {
 	}
 }
 
+// Keys returns a snapshot of the live (unexpired) keys across all shards,
+// in no particular order. Each shard is walked under its own lock, so the
+// snapshot is per-shard consistent but not a single atomic cut — the same
+// deal Stats makes. Cluster key handoff uses this to find the remapped
+// share on a prior owner; expired entries are reaped, not listed, so
+// handoff never migrates a dead entry.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		nowNano := s.now().UnixNano()
+		sh.mu.Lock()
+		for k, e := range sh.items {
+			if e.expires != 0 && nowNano >= e.expires {
+				continue // lazily expired; the sweep or next touch reaps it
+			}
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // Len reports the number of live items.
 func (s *Store) Len() int {
 	n := 0

@@ -26,6 +26,11 @@ func WithLatency(inner Cache, rtt time.Duration, sleeper latency.Sleeper) *Laten
 
 var _ Cache = (*LatencyCache)(nil)
 
+// Unwrap returns the wrapped cache, letting callers reach through the
+// latency decoration for capabilities the Cache interface doesn't carry
+// (core.Genie walks the chain to find the cluster ring's replica stats).
+func (l *LatencyCache) Unwrap() Cache { return l.inner }
+
 func (l *LatencyCache) charge() { l.sleeper.Sleep(l.rtt) }
 
 // Get implements Cache.

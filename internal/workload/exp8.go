@@ -85,6 +85,7 @@ func BuildStackForExp8(opt ExpOptions) (*Stack, error) {
 		BufferPoolPages:   expPoolPages,
 		DiskWidth:         2,
 		CacheNodes:        Exp8Nodes,
+		Replicas:          opt.Replicas,
 		Transport:         TransportRemote,
 		ProbeInterval:     exp8ProbeInterval,
 		AsyncInvalidation: opt.Async,
@@ -121,8 +122,9 @@ func Exp8(opt ExpOptions) (Exp8Result, error) {
 		if total := (after.Hits - before.Hits) + (after.Misses - before.Misses); total > 0 {
 			p.HitRate = float64(after.Hits-before.Hits) / float64(total)
 		}
-		opt.logf("exp8  %-9s %9.1f pages/s  hit=%.2f  mean=%v  errors=%d",
-			name, p.Throughput, p.HitRate, p.MeanLat.Round(time.Microsecond), p.Errors)
+		opt.logf("exp8  %-9s %9.1f pages/s  hit=%.2f  mean=%v  errors=%d  breakers: %s",
+			name, p.Throughput, p.HitRate, p.MeanLat.Round(time.Microsecond), p.Errors,
+			st.CacheTierStats().HealthLine())
 		return p, nil
 	}
 

@@ -41,6 +41,10 @@ type ExpOptions struct {
 	// Shards overrides every cache node's lock-stripe count (0 = kvcache
 	// default). Experiment 9 sweeps stripe counts itself and ignores this.
 	Shards int
+	// Replicas sets the cache ring's replication factor for every stack the
+	// harness builds (0/1 = single-owner routing; Experiment 10 sweeps
+	// R = 1 vs 2 itself and ignores this).
+	Replicas int
 }
 
 func (o ExpOptions) scale() int {
@@ -94,6 +98,7 @@ func (o ExpOptions) buildStack(mode Mode, cacheBytes int64, poolPages int) (*Sta
 		LatencyScale:      o.scale(),
 		CacheBytes:        cacheBytes,
 		CacheShards:       o.Shards,
+		Replicas:          o.Replicas,
 		BufferPoolPages:   poolPages,
 		DiskWidth:         2,
 		AsyncInvalidation: o.Async,
@@ -667,6 +672,7 @@ func BuildStackForExp7(opt ExpOptions, mode Mode, transport CacheTransport, asyn
 		BufferPoolPages:   expPoolPages,
 		DiskWidth:         2,
 		CacheNodes:        Exp7Nodes,
+		Replicas:          opt.Replicas,
 		Transport:         transport,
 		CacheAddrs:        opt.CacheAddrs,
 		AsyncInvalidation: async,
@@ -839,6 +845,7 @@ func BuildStackForBench(opt ExpOptions, mode Mode, reuseTriggerConns bool, cache
 		BufferPoolPages:         expPoolPages,
 		DiskWidth:               2,
 		CacheNodes:              cacheNodes,
+		Replicas:                opt.Replicas,
 		ReuseTriggerConnections: reuseTriggerConns,
 	})
 }

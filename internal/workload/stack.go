@@ -77,6 +77,12 @@ type StackConfig struct {
 	// CacheNodes > 1 spreads the cache over a consistent-hash ring of
 	// cache nodes (each sized CacheBytes/CacheNodes).
 	CacheNodes int
+	// Replicas is the ring's replication factor R: every key lives on the
+	// first R distinct nodes walking the ring, writes fan out to all of
+	// them, and reads fail over (breaker-aware) down the replica list.
+	// 0 or 1 = single-owner routing, the pre-Experiment-10 behaviour;
+	// clamped to CacheNodes.
+	Replicas int
 	// CacheShards overrides each node's lock-stripe count (0 = the kvcache
 	// default of the next power of two >= 4x GOMAXPROCS; 1 = the un-striped
 	// baseline Experiment 9 measures against).
@@ -278,7 +284,7 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 	if len(nodes) == 1 {
 		logical = nodes[0]
 	} else {
-		ring, err := cluster.NewManager(nodeIDs, nodes)
+		ring, err := cluster.NewManager(nodeIDs, nodes, cluster.WithReplicas(cfg.Replicas))
 		if err != nil {
 			st.Close()
 			return nil, err
@@ -363,6 +369,38 @@ type CacheTierStats struct {
 	// before this existed a dead node silently dropped out of the aggregate,
 	// quietly undercounting hits, misses, and capacity.
 	UnreachableNodes int
+	// PoolStats is each remote node's client-pool health snapshot in ring
+	// order (empty for the in-process transport): breaker state, trips,
+	// fail-fast count — the *why* behind a node being skipped in a failure
+	// drill's timeline.
+	PoolStats []cacheproto.PoolStats
+	// OpenBreakers counts nodes whose breaker is not closed right now.
+	OpenBreakers int
+	// BreakerTrips and FailFastOps aggregate the per-node counters above.
+	BreakerTrips int64
+	FailFastOps  int64
+}
+
+// HealthLine renders the per-node breaker picture as one compact log line
+// fragment ("node1=open(trips=1,ff=1234)"), listing only nodes that have
+// ever tripped or are currently not closed — a healthy tier renders as
+// "all-closed". The exp8/exp10 timelines print it so a phase's hit-rate
+// number carries its explanation.
+func (t CacheTierStats) HealthLine() string {
+	out := ""
+	for i, ps := range t.PoolStats {
+		if ps.State == cacheproto.BreakerClosed && ps.Trips == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("node%d=%s(trips=%d,ff=%d)", i, ps.State, ps.Trips, ps.FailFast)
+	}
+	if out == "" {
+		return "all-closed"
+	}
+	return out
 }
 
 // CacheStats aggregates counters across the stack's cache nodes. With
@@ -403,6 +441,7 @@ func (s *Stack) CacheTierStats() CacheTierStats {
 	var agg CacheTierStats
 	if len(s.Stores) == 0 && len(s.Pools) > 0 {
 		agg.Stats, agg.UnreachableNodes = s.wireStats()
+		s.aggregatePools(&agg)
 		return agg
 	}
 	agg.Stats = s.CacheStats()
@@ -411,7 +450,21 @@ func (s *Stack) CacheTierStats() CacheTierStats {
 			agg.UnreachableNodes++
 		}
 	}
+	s.aggregatePools(&agg)
 	return agg
+}
+
+// aggregatePools folds each remote node's PoolStats into the tier view.
+func (s *Stack) aggregatePools(agg *CacheTierStats) {
+	for _, p := range s.Pools {
+		ps := p.Stats()
+		agg.PoolStats = append(agg.PoolStats, ps)
+		if ps.State != cacheproto.BreakerClosed {
+			agg.OpenBreakers++
+		}
+		agg.BreakerTrips += ps.Trips
+		agg.FailFastOps += ps.FailFast
+	}
 }
 
 // wireStats aggregates the stats command across the pools, counting nodes
