@@ -12,6 +12,7 @@ package cachegenie
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -525,6 +526,14 @@ func BenchmarkExp10ReplicatedFailover(b *testing.B) {
 	b.ReportMetric(0, "ns/op")
 	if err := workload.WriteExp10JSON("BENCH_exp10.json", last); err != nil {
 		b.Logf("BENCH_exp10.json not written: %v", err)
+	}
+	// The final timeline's /metrics-equivalent dump rides along as its own
+	// artifact: the full Prometheus view of the tier (store, server, pool,
+	// invalidation bus, cluster series) as it stood at the end of the drill.
+	if tl, ok := last.Timeline(workload.Exp10Replicas); ok && len(tl.Metrics) > 0 {
+		if err := os.WriteFile("BENCH_exp10_metrics.prom", tl.Metrics, 0o644); err != nil {
+			b.Logf("BENCH_exp10_metrics.prom not written: %v", err)
+		}
 	}
 }
 

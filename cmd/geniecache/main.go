@@ -26,6 +26,12 @@
 //
 //	geniecache -addr 127.0.0.1:11311 -nodes 4 -kill-node 1 -kill-after 10s -revive-after 15s
 //
+// Observability: -metrics-addr serves Prometheus /metrics (per-node op
+// latency histograms, store counters, connection gauges under node="addr"
+// labels), a /metrics.json snapshot, /healthz, and /debug/pprof for the
+// whole tier. A drill-revived node's fresh server rebinds its series in
+// place.
+//
 // On SIGINT/SIGTERM the servers shut down gracefully: listeners close, open
 // connections are torn down, handler goroutines are joined, and per-node
 // stats print before exit.
@@ -46,6 +52,7 @@ import (
 
 	"cachegenie/internal/cacheproto"
 	"cachegenie/internal/kvcache"
+	"cachegenie/internal/obs"
 )
 
 func main() {
@@ -57,6 +64,7 @@ func main() {
 	killNode := flag.Int("kill-node", -1, "node index to kill for a failure drill (-1 = none)")
 	killAfter := flag.Duration("kill-after", 10*time.Second, "how long after startup to kill -kill-node")
 	reviveAfter := flag.Duration("revive-after", 0, "how long after the kill to revive the node cold on the same address (0 = stay dead)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json, /healthz and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	if *nodes < 1 {
@@ -105,6 +113,21 @@ func main() {
 	}
 	fmt.Printf("cache tier ready: %s\n", hint)
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		for i := range servers {
+			stores[i].RegisterMetrics(reg, bounds[i])
+			servers[i].Metrics().Register(reg, bounds[i])
+		}
+		ms, err := obs.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("geniecache: %v", err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ms.Addr)
+	}
+
 	// srvMu guards servers[i] against the failure-drill goroutine swapping a
 	// revived server in while shutdown walks the slice.
 	var srvMu sync.Mutex
@@ -132,6 +155,8 @@ func main() {
 			srvMu.Lock()
 			servers[i] = srv
 			srvMu.Unlock()
+			// Rebind the node's series to the fresh server's instruments.
+			srv.Metrics().Register(reg, bounds[i])
 			fmt.Printf("drill: node %d (%s) revived cold\n", i, bounds[i])
 		}()
 	}

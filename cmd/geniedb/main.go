@@ -18,6 +18,7 @@ import (
 
 	"cachegenie/internal/dbproto"
 	"cachegenie/internal/latency"
+	"cachegenie/internal/obs"
 	"cachegenie/internal/sqldb"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	diskWidth := flag.Int("disk-width", 2, "concurrent simulated-disk requests")
 	latencyScale := flag.Int("latency-scale", 0, "enable paper-calibrated latency model divided by this factor (0 = off)")
 	lockTimeout := flag.Duration("lock-timeout", 5*time.Second, "lock wait timeout")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json, /healthz and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 
 	var model latency.Model
@@ -45,6 +47,26 @@ func main() {
 		log.Fatalf("geniedb: %v", err)
 	}
 	fmt.Printf("geniedb listening on %s (pool %d pages)\n", bound, *poolPages)
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		view := func(f func(sqldb.Stats) int64) func() int64 {
+			return func() int64 { return f(db.Stats()) }
+		}
+		reg.CounterFunc("cachegenie_db_selects_total", "", "SELECT statements executed.", view(func(s sqldb.Stats) int64 { return s.Selects }))
+		reg.CounterFunc("cachegenie_db_inserts_total", "", "INSERT statements executed.", view(func(s sqldb.Stats) int64 { return s.Inserts }))
+		reg.CounterFunc("cachegenie_db_updates_total", "", "UPDATE statements executed.", view(func(s sqldb.Stats) int64 { return s.Updates }))
+		reg.CounterFunc("cachegenie_db_deletes_total", "", "DELETE statements executed.", view(func(s sqldb.Stats) int64 { return s.Deletes }))
+		reg.CounterFunc("cachegenie_db_triggers_fired_total", "", "Invalidation triggers fired.", view(func(s sqldb.Stats) int64 { return s.TriggersFired }))
+		reg.CounterFunc("cachegenie_db_txns_committed_total", "", "Transactions committed.", view(func(s sqldb.Stats) int64 { return s.TxnsCommitted }))
+		reg.CounterFunc("cachegenie_db_txns_aborted_total", "", "Transactions aborted.", view(func(s sqldb.Stats) int64 { return s.TxnsAborted }))
+		ms, err := obs.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("geniedb: %v", err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ms.Addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -52,6 +52,14 @@
 // written to BENCH_exp10.json. The -replicas flag sets the ring's
 // replication factor for every OTHER experiment's cache tier (0/1 =
 // single-owner routing; exp10 sweeps R itself).
+//
+// Observability: -metrics-addr serves Prometheus /metrics, a /metrics.json
+// snapshot, a breaker-aware /healthz, and /debug/pprof while experiments
+// run — every stack an experiment builds registers its stores, servers,
+// pools, ring, and Genie into the one registry. -tick prints a live
+// per-interval cache-tier line (ops/s, p50/p99 from differenced mergeable
+// histograms, hit rate, breaker states) without touching the experiment's
+// own measurements.
 package main
 
 import (
@@ -60,10 +68,72 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"cachegenie/internal/cacheproto"
+	"cachegenie/internal/obs"
 	"cachegenie/internal/workload"
 )
+
+// startTicker prints a live cache-tier line every interval from the metrics
+// registry the experiments register their stacks into: per-interval pool ops/s
+// and p50/p99 (histogram snapshots differenced with Sub, merged across nodes
+// with Add), per-interval Genie hit rate, and one breaker-state letter per
+// pool (C closed, O open, H half-open). Returns a stop func that joins the
+// goroutine.
+func startTicker(reg *obs.Registry, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var prevOps obs.HistSnapshot
+		var prevHits, prevMisses int64
+		last := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				elapsed := now.Sub(last)
+				last = now
+				var cur obs.HistSnapshot
+				reg.VisitHistograms(func(name, _ string, h *obs.Histogram) {
+					if name == cacheproto.PoolOpLatencyName {
+						cur.Add(h.Snapshot())
+					}
+				})
+				iv := cur.Sub(prevOps)
+				prevOps = cur
+				snap := reg.Snapshot()
+				hits := snap.SumCounters("cachegenie_genie_hits_total")
+				misses := snap.SumCounters("cachegenie_genie_misses_total")
+				dh, dm := hits-prevHits, misses-prevMisses
+				prevHits, prevMisses = hits, misses
+				hit := "   -"
+				if dh+dm > 0 {
+					hit = fmt.Sprintf("%.2f", float64(dh)/float64(dh+dm))
+				}
+				breakers := ""
+				for _, s := range snap.GaugeValues(cacheproto.PoolBreakerGaugeName) {
+					breakers += string("COH?"[min(int(s), 3)])
+				}
+				if breakers == "" {
+					breakers = "-"
+				}
+				fmt.Printf("tick %9.0f cache-ops/s  p50=%-10v p99=%-10v hit=%s  breakers=%s\n",
+					float64(iv.Count)/elapsed.Seconds(),
+					time.Duration(iv.Quantile(0.50)).Round(time.Microsecond),
+					time.Duration(iv.Quantile(0.99)).Round(time.Microsecond),
+					hit, breakers)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, exp9, exp10, micro, effort, ablation)")
@@ -75,6 +145,8 @@ func main() {
 	cacheAddrs := flag.String("cache-addrs", "", "comma-separated geniecache addresses for -transport remote (empty = launch loopback nodes)")
 	shards := flag.Int("shards", 0, "cache-node lock-stripe count (0 = auto: next pow2 >= 4x GOMAXPROCS; 1 = unsharded baseline)")
 	replicas := flag.Int("replicas", 0, "cache ring replication factor R (0/1 = single-owner routing; clamped to the node count)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json, /healthz and /debug/pprof on this address while experiments run (empty = disabled)")
+	tick := flag.Duration("tick", 0, "print a live cache-tier line (ops/s, p50/p99, hit rate, breaker states) at this interval (0 = off)")
 	flag.Parse()
 
 	transport, err := workload.ParseTransport(*transportFlag)
@@ -94,6 +166,22 @@ func main() {
 		Async: *async, BatchWindow: *batchWindow,
 		Transport: transport, CacheAddrs: addrs, Shards: *shards,
 		Replicas: *replicas,
+	}
+	if *metricsAddr != "" || *tick > 0 {
+		reg := obs.NewRegistry()
+		opt.Metrics = reg
+		if *metricsAddr != "" {
+			ms, err := obs.Serve(*metricsAddr, reg,
+				obs.BreakerHealth(reg, cacheproto.PoolBreakerGaugeName))
+			if err != nil {
+				log.Fatalf("genieload: %v", err)
+			}
+			defer ms.Close()
+			fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ms.Addr)
+		}
+		if *tick > 0 {
+			defer startTicker(reg, *tick)()
+		}
 	}
 	run := func(name string, fn func() error) {
 		fmt.Printf("\n== %s ==\n", name)

@@ -115,6 +115,7 @@ type PoolConfig struct {
 // single round trip regardless of pool size.
 type Pool struct {
 	cfg PoolConfig
+	m   *PoolMetrics // always-on; see PoolMetrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled when a connection returns or the pool state changes
@@ -166,7 +167,7 @@ func NewPoolWithConfig(cfg PoolConfig) *Pool {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
-	p := &Pool{cfg: cfg, closeCh: make(chan struct{})}
+	p := &Pool{cfg: cfg, m: &PoolMetrics{}, closeCh: make(chan struct{})}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -426,12 +427,15 @@ func (p *Pool) probe() *Client {
 // Get implements kvcache.Cache. Checkout or network errors surface as
 // misses; callers fall back to the database, the correct degraded behaviour.
 func (p *Pool) Get(key string) ([]byte, bool) {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opGet, start, err)
 		return nil, false
 	}
 	v, _, ok, err := c.fetch(false, key)
 	p.put(c, err)
+	p.done(opGet, start, err)
 	if err != nil {
 		return nil, false
 	}
@@ -440,12 +444,15 @@ func (p *Pool) Get(key string) ([]byte, bool) {
 
 // Gets implements kvcache.Cache.
 func (p *Pool) Gets(key string) ([]byte, uint64, bool) {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opGets, start, err)
 		return nil, 0, false
 	}
 	v, cas, ok, err := c.fetch(true, key)
 	p.put(c, err)
+	p.done(opGets, start, err)
 	if err != nil {
 		return nil, 0, false
 	}
@@ -454,64 +461,84 @@ func (p *Pool) Gets(key string) ([]byte, uint64, bool) {
 
 // Set implements kvcache.Cache.
 func (p *Pool) Set(key string, value []byte, ttl time.Duration) {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opSet, start, err)
 		return
 	}
-	p.put(c, c.set(key, value, ttl))
+	err = c.set(key, value, ttl)
+	p.put(c, err)
+	p.done(opSet, start, err)
 }
 
 // Add implements kvcache.Cache.
 func (p *Pool) Add(key string, value []byte, ttl time.Duration) bool {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opAdd, start, err)
 		return false
 	}
 	ok, err := c.add(key, value, ttl)
 	p.put(c, err)
+	p.done(opAdd, start, err)
 	return ok
 }
 
 // Cas implements kvcache.Cache.
 func (p *Pool) Cas(key string, value []byte, ttl time.Duration, cas uint64) kvcache.CasResult {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opCas, start, err)
 		return kvcache.CasNotFound
 	}
 	r, err := c.cas(key, value, ttl, cas)
 	p.put(c, err)
+	p.done(opCas, start, err)
 	return r
 }
 
 // Delete implements kvcache.Cache.
 func (p *Pool) Delete(key string) bool {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opDelete, start, err)
 		return false
 	}
 	ok, err := c.del(key)
 	p.put(c, err)
+	p.done(opDelete, start, err)
 	return ok
 }
 
 // Incr implements kvcache.Cache.
 func (p *Pool) Incr(key string, delta int64) (int64, bool) {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opIncr, start, err)
 		return 0, false
 	}
 	n, ok, err := c.incr(key, delta)
 	p.put(c, err)
+	p.done(opIncr, start, err)
 	return n, ok
 }
 
 // FlushAll implements kvcache.Cache.
 func (p *Pool) FlushAll() {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opOther, start, err)
 		return
 	}
-	p.put(c, c.flushAll())
+	err = c.flushAll()
+	p.put(c, err)
+	p.done(opOther, start, err)
 }
 
 // ApplyBatch implements kvcache.BatchApplier: the whole batch runs as one
@@ -521,12 +548,15 @@ func (p *Pool) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 	if len(ops) == 0 {
 		return nil
 	}
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opMop, start, err)
 		return make([]kvcache.BatchResult, len(ops))
 	}
 	res, err := c.applyBatch(ops)
 	p.put(c, err)
+	p.done(opMop, start, err)
 	if err != nil {
 		// A batch that broke mid-stream has partially-trustworthy results at
 		// best; report all-failed so callers treat it as a lost flush.
@@ -538,22 +568,28 @@ func (p *Pool) ApplyBatch(ops []kvcache.BatchOp) []kvcache.BatchResult {
 // Keys fetches the server's live key list over a pooled connection; the
 // cluster membership-change handoff drains a remapped key share through it.
 func (p *Pool) Keys() ([]string, error) {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opOther, start, err)
 		return nil, err
 	}
 	keys, err := c.Keys()
 	p.put(c, err)
+	p.done(opOther, start, err)
 	return keys, err
 }
 
 // ServerStats fetches the server's counters over a pooled connection.
 func (p *Pool) ServerStats() (map[string]int64, error) {
+	start := time.Now()
 	c, err := p.get()
 	if err != nil {
+		p.done(opOther, start, err)
 		return nil, err
 	}
 	st, err := c.ServerStats()
 	p.put(c, err)
+	p.done(opOther, start, err)
 	return st, err
 }

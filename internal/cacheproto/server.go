@@ -67,6 +67,7 @@ const retainedValueBuf = 64 << 10
 // Server serves the text protocol for a Store.
 type Server struct {
 	store *kvcache.Store
+	m     *ServerMetrics // always-on; see ServerMetrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -78,8 +79,12 @@ type Server struct {
 
 // NewServer wraps store.
 func NewServer(store *kvcache.Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{store: store, m: &ServerMetrics{}, conns: make(map[net.Conn]struct{})}
 }
+
+// Metrics returns the server's always-on instrumentation, for registry
+// attachment or direct inspection.
+func (s *Server) Metrics() *ServerMetrics { return s.m }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address.
@@ -168,6 +173,8 @@ type serverConn struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 
+	m *ServerMetrics
+
 	line      []byte   // overflow line assembly (lines longer than the bufio buffer)
 	fields    [][]byte // reusable field-slice headers
 	subFields [][]byte // separate header buffer for mop sub-commands
@@ -183,6 +190,7 @@ type serverConn struct {
 func (s *Server) newServerConn(r *bufio.Reader, w *bufio.Writer) *serverConn {
 	return &serverConn{
 		store:     s.store,
+		m:         s.m,
 		r:         r,
 		w:         w,
 		fields:    make([][]byte, 0, 8),
@@ -193,6 +201,9 @@ func (s *Server) newServerConn(r *bufio.Reader, w *bufio.Writer) *serverConn {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	s.m.ConnsOpened.Inc()
+	s.m.ActiveConns.Add(1)
+	defer s.m.ActiveConns.Add(-1)
 	c := s.newServerConn(bufio.NewReader(conn), bufio.NewWriter(conn))
 	for {
 		if !c.serveOne() {
@@ -212,8 +223,14 @@ func (c *serverConn) serveOne() bool {
 	}
 	fields := splitFields(line, c.fields[:0])
 	c.fields = fields[:0] // keep a grown header buffer for reuse
+	// Classify before dispatch: set/add/cas read their data block mid-dispatch,
+	// which refills the bufio buffer and invalidates the field slices.
+	kind := classifyCmd(fields[0])
+	start := time.Now()
 	quit, err := c.dispatch(fields)
+	c.m.OpNanos[kind].ObserveSince(start)
 	if err != nil {
+		c.m.Errors.Inc()
 		fmt.Fprintf(c.w, "CLIENT_ERROR %s\r\n", err)
 	}
 	if err := c.w.Flush(); err != nil || quit {
@@ -564,6 +581,25 @@ func (c *serverConn) dispatch(fields [][]byte) (quit bool, err error) {
 		fmt.Fprintf(w, "STAT curr_items %d\r\n", st.Items)
 		fmt.Fprintf(w, "STAT bytes %d\r\n", st.BytesUsed)
 		fmt.Fprintf(w, "STAT limit_maxbytes %d\r\n", st.BytesLimit)
+		// Extended stats: still 3-field "STAT <name> <int>" lines, so older
+		// parsers (and Client.ServerStats) take them in stride while the
+		// workload tier recovers the detail kvcache.Stats used to lose over
+		// the wire, plus per-op latency summaries from the server histograms.
+		fmt.Fprintf(w, "STAT cmd_delete %d\r\n", st.Deletes)
+		fmt.Fprintf(w, "STAT expired %d\r\n", st.Expired)
+		fmt.Fprintf(w, "STAT cas_conflicts %d\r\n", st.CasConflicts)
+		fmt.Fprintf(w, "STAT server_errors %d\r\n", c.m.Errors.Load())
+		fmt.Fprintf(w, "STAT conns_opened %d\r\n", c.m.ConnsOpened.Load())
+		fmt.Fprintf(w, "STAT active_conns %d\r\n", c.m.ActiveConns.Load())
+		for k := opKind(0); k < opKindCount; k++ {
+			snap := c.m.OpNanos[k].Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "STAT op_%s_count %d\r\n", opNames[k], snap.Count)
+			fmt.Fprintf(w, "STAT op_%s_p50_ns %d\r\n", opNames[k], snap.Quantile(0.50))
+			fmt.Fprintf(w, "STAT op_%s_p99_ns %d\r\n", opNames[k], snap.Quantile(0.99))
+		}
 		w.WriteString("END\r\n")
 		return false, nil
 	}

@@ -1,0 +1,29 @@
+package core
+
+import "cachegenie/internal/obs"
+
+// RegisterMetrics attaches the middleware's counters — and, in async mode,
+// the invalidation bus's full instrumentation — to reg. The labels string is
+// raw Prometheus label syntax ("" for none).
+func (g *Genie) RegisterMetrics(reg *obs.Registry, labels string) {
+	if g == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("cachegenie_genie_hits_total", labels,
+		"reads served from cache", g.hits.Load)
+	reg.CounterFunc("cachegenie_genie_misses_total", labels,
+		"reads that fell through and repopulated", g.misses.Load)
+	reg.CounterFunc("cachegenie_genie_trigger_updates_total", labels,
+		"in-place cache updates from triggers", g.trigUpdates.Load)
+	reg.CounterFunc("cachegenie_genie_trigger_deletes_total", labels,
+		"invalidations from triggers", g.trigDeletes.Load)
+	reg.CounterFunc("cachegenie_genie_trigger_skips_total", labels,
+		"trigger firings that found the key absent and quit", g.trigSkips.Load)
+	reg.CounterFunc("cachegenie_genie_recomputes_total", labels,
+		"full recomputes after top-K reserve exhaustion", g.recomputes.Load)
+	reg.CounterFunc("cachegenie_genie_cas_retries_total", labels,
+		"CAS conflicts retried", g.casRetries.Load)
+	reg.CounterFunc("cachegenie_genie_populate_refused_total", labels,
+		"populates that lost to a concurrent Add", g.populateRefused.Load)
+	g.bus.RegisterMetrics(reg, labels)
+}

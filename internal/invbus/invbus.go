@@ -30,6 +30,7 @@ import (
 
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/latency"
+	"cachegenie/internal/obs"
 )
 
 // OpKind discriminates bus operations.
@@ -169,6 +170,12 @@ type Bus struct {
 	maxLag          atomic.Int64
 	queueFullStalls atomic.Int64
 	stallNanos      atomic.Int64
+
+	// Always-on distribution instrumentation (see RegisterMetrics): flush
+	// batch sizes (pre-coalescing, the batching-efficiency signal) and
+	// Publish stall times on full shard queues (the backpressure signal).
+	flushSize obs.Histogram
+	stallTime obs.Histogram
 }
 
 // New creates a Bus and starts its shard workers (none in sync mode).
@@ -241,7 +248,9 @@ func (b *Bus) Publish(op Op) {
 		b.queueFullStalls.Add(1)
 		start := time.Now()
 		s.ch <- p
-		b.stallNanos.Add(int64(time.Since(start)))
+		stalled := int64(time.Since(start))
+		b.stallNanos.Add(stalled)
+		b.stallTime.Observe(stalled)
 	}
 	b.mu.RUnlock()
 }
@@ -254,6 +263,7 @@ func (b *Bus) applySync(op Op) {
 	b.apply([]pendingOp{{Op: op, enq: time.Now()}})
 	b.flushes.Add(1)
 	storeMax(&b.maxBatch, 1)
+	b.flushSize.Observe(1)
 }
 
 // storeMax lifts v into the atomic if it exceeds the current value.
@@ -399,6 +409,7 @@ func (b *Bus) flushBatch(batch []pendingOp) {
 		return
 	}
 	storeMax(&b.maxBatch, int64(len(batch)))
+	b.flushSize.Observe(int64(len(batch)))
 	batch = b.coalesce(batch)
 	if b.cfg.ConnectCost > 0 {
 		b.cfg.Sleeper.Sleep(b.cfg.ConnectCost)

@@ -1,0 +1,41 @@
+package kvcache
+
+import "cachegenie/internal/obs"
+
+// RegisterMetrics attaches live counter/gauge views over the store's striped
+// statistics to reg under a node label ("" omits it). The views aggregate
+// Stats() at scrape time, so the store's hot path carries no extra cost
+// between scrapes; re-registering (a rebuilt store under the same node name)
+// rebinds the series.
+func (s *Store) RegisterMetrics(reg *obs.Registry, node string) {
+	if s == nil || reg == nil {
+		return
+	}
+	labels := ""
+	if node != "" {
+		labels = `node="` + node + `"`
+	}
+	view := func(f func(Stats) int64) func() int64 {
+		return func() int64 { return f(s.Stats()) }
+	}
+	reg.CounterFunc("cachegenie_store_hits_total", labels,
+		"get requests served from the cache", view(func(st Stats) int64 { return st.Hits }))
+	reg.CounterFunc("cachegenie_store_misses_total", labels,
+		"get requests that found nothing", view(func(st Stats) int64 { return st.Misses }))
+	reg.CounterFunc("cachegenie_store_sets_total", labels,
+		"unconditional stores", view(func(st Stats) int64 { return st.Sets }))
+	reg.CounterFunc("cachegenie_store_deletes_total", labels,
+		"deletes that removed a live entry", view(func(st Stats) int64 { return st.Deletes }))
+	reg.CounterFunc("cachegenie_store_evictions_total", labels,
+		"entries evicted by the LRU byte budget", view(func(st Stats) int64 { return st.Evictions }))
+	reg.CounterFunc("cachegenie_store_expired_total", labels,
+		"entries dropped at read time past their TTL", view(func(st Stats) int64 { return st.Expired }))
+	reg.CounterFunc("cachegenie_store_cas_conflicts_total", labels,
+		"compare-and-swaps refused on a stale token", view(func(st Stats) int64 { return st.CasConflicts }))
+	reg.GaugeFunc("cachegenie_store_items", labels,
+		"live entries", view(func(st Stats) int64 { return st.Items }))
+	reg.GaugeFunc("cachegenie_store_bytes_used", labels,
+		"bytes of keys and values resident", view(func(st Stats) int64 { return st.BytesUsed }))
+	reg.GaugeFunc("cachegenie_store_bytes_limit", labels,
+		"configured byte budget", view(func(st Stats) int64 { return st.BytesLimit }))
+}

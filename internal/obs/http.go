@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HealthFunc reports process health for /healthz: ok decides 200 vs 503,
+// detail is the response body either way (one line per finding works well).
+type HealthFunc func() (ok bool, detail string)
+
+// MetricsServer is a running metrics/pprof/health HTTP endpoint.
+type MetricsServer struct {
+	Addr string // bound address (resolves ":0" to the kernel's pick)
+	srv  *http.Server
+}
+
+// Serve binds addr and serves, in the background:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  JSON snapshot (counters, gauges, histogram summaries)
+//	/healthz       200 "ok ..." or 503 per health (nil health = always ok)
+//	/debug/pprof/  the standard pprof index, profiles, and traces
+//
+// The pprof handlers are registered on this mux explicitly, not on
+// http.DefaultServeMux, so the profiling surface exists only where a
+// -metrics-addr was asked for.
+func Serve(addr string, reg *Registry, health HealthFunc) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		ok, detail := true, "ok"
+		if health != nil {
+			ok, detail = health()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, detail)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ms := &MetricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Close stops the endpoint and its listener.
+func (m *MetricsServer) Close() error {
+	if m == nil || m.srv == nil {
+		return nil
+	}
+	return m.srv.Close()
+}
+
+// BreakerHealth builds a HealthFunc over a breaker-state gauge: healthy
+// while every series under gaugeName reads 0 (BreakerClosed), degraded
+// (503) with a count otherwise. The convention across this repo is
+// cacheproto pools registering their state under "cachegenie_pool_breaker_state".
+func BreakerHealth(reg *Registry, gaugeName string) HealthFunc {
+	return func() (bool, string) {
+		states := reg.Snapshot().GaugeValues(gaugeName)
+		open := 0
+		for _, s := range states {
+			if s != 0 {
+				open++
+			}
+		}
+		if open == 0 {
+			return true, fmt.Sprintf("ok (%d breakers closed)", len(states))
+		}
+		return false, fmt.Sprintf("degraded: %d of %d breakers not closed", open, len(states))
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"cachegenie/internal/obs"
 	"cachegenie/internal/social"
 	"cachegenie/internal/sqldb"
 )
@@ -88,47 +88,51 @@ func (r Report) String() string {
 		r.Mode, r.Throughput, r.Pages, r.Errors, r.Elapsed.Round(time.Millisecond))
 }
 
-// recorder accumulates latencies per page type.
+// recorder accumulates latencies per page type into obs histograms: memory
+// stays O(buckets) per page type however many ops run (the raw-slice
+// predecessor held every sample — hundreds of MB at millions of ops), and
+// quantiles come from the bucketed distribution (within one bucket, ~±3.2%
+// relative, of the exact order statistic). Max stays exact.
 type recorder struct {
 	mu     sync.Mutex
-	byPage map[social.PageType][]time.Duration
+	byPage map[social.PageType]*obs.Histogram
 }
 
 func newRecorder() *recorder {
-	return &recorder{byPage: make(map[social.PageType][]time.Duration)}
+	return &recorder{byPage: make(map[social.PageType]*obs.Histogram)}
+}
+
+func (r *recorder) hist(p social.PageType) *obs.Histogram {
+	r.mu.Lock()
+	h := r.byPage[p]
+	if h == nil {
+		h = obs.NewHistogram()
+		r.byPage[p] = h
+	}
+	r.mu.Unlock()
+	return h
 }
 
 func (r *recorder) record(p social.PageType, d time.Duration) {
-	r.mu.Lock()
-	r.byPage[p] = append(r.byPage[p], d)
-	r.mu.Unlock()
+	r.hist(p).Observe(int64(d))
 }
 
 func (r *recorder) stats() map[social.PageType]PageStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[social.PageType]PageStats, len(r.byPage))
-	for p, ds := range r.byPage {
-		if len(ds) == 0 {
+	for p, h := range r.byPage {
+		s := h.Snapshot()
+		if s.Count == 0 {
 			continue
 		}
-		sorted := append([]time.Duration(nil), ds...)
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		var sum time.Duration
-		for _, d := range sorted {
-			sum += d
-		}
-		q := func(f float64) time.Duration {
-			i := int(f * float64(len(sorted)-1))
-			return sorted[i]
-		}
 		out[p] = PageStats{
-			Count: len(sorted),
-			Mean:  sum / time.Duration(len(sorted)),
-			P50:   q(0.50),
-			P95:   q(0.95),
-			P99:   q(0.99),
-			Max:   sorted[len(sorted)-1],
+			Count: int(s.Count),
+			Mean:  time.Duration(s.Mean()),
+			P50:   time.Duration(s.Quantile(0.50)),
+			P95:   time.Duration(s.Quantile(0.95)),
+			P99:   time.Duration(s.Quantile(0.99)),
+			Max:   time.Duration(s.Max),
 		}
 	}
 	return out

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cachegenie/internal/cluster"
+	"cachegenie/internal/obs"
 )
 
 // ---------- Experiment 10: replica-aware cluster tier ----------
@@ -60,6 +61,13 @@ type Exp10Timeline struct {
 	ScannedKeys   int
 	DivergentKeys int
 	OrphanKeys    int
+
+	// Metrics is the stack registry's Prometheus text dump captured at the
+	// end of the pass, before teardown — every subsystem's series (store,
+	// server, pool, invalidation bus, cluster) as a scrape would have seen
+	// them. The CI bench smoke uploads the final timeline's dump as an
+	// artifact.
+	Metrics []byte
 }
 
 // Exp10Result is the full Experiment 10 report.
@@ -98,6 +106,7 @@ func BuildStackForExp10(opt ExpOptions, replicas int) (*Stack, error) {
 		ProbeInterval:     exp8ProbeInterval,
 		AsyncInvalidation: opt.Async,
 		BatchWindow:       opt.BatchWindow,
+		Obs:               opt.Metrics,
 	})
 }
 
@@ -125,6 +134,13 @@ func Exp10(opt ExpOptions) (Exp10Result, error) {
 
 func exp10Timeline(opt ExpOptions, replicas int) (Exp10Timeline, error) {
 	tl := Exp10Timeline{Replicas: replicas}
+	// Each timeline gets its own registry unless the caller supplied one
+	// (fresh loopback ports per pass would otherwise pile up stale series).
+	reg := opt.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+		opt.Metrics = reg
+	}
 	st, err := BuildStackForExp10(opt, replicas)
 	if err != nil {
 		return tl, err
@@ -208,6 +224,10 @@ func exp10Timeline(opt ExpOptions, replicas int) (Exp10Timeline, error) {
 	tl.ScannedKeys, tl.DivergentKeys, tl.OrphanKeys = exp10Scan(st)
 	opt.logf("exp10 R=%d staleness scan: %d keys, %d divergent, %d orphaned",
 		replicas, tl.ScannedKeys, tl.DivergentKeys, tl.OrphanKeys)
+	var dump bytes.Buffer
+	if err := reg.WritePrometheus(&dump); err == nil {
+		tl.Metrics = dump.Bytes()
+	}
 	return tl, nil
 }
 

@@ -4,10 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"cachegenie/internal/cacheproto"
+	"cachegenie/internal/obs"
 )
 
 // ---------- Experiment 8: node failure and live ring membership ----------
@@ -90,6 +90,7 @@ func BuildStackForExp8(opt ExpOptions) (*Stack, error) {
 		ProbeInterval:     exp8ProbeInterval,
 		AsyncInvalidation: opt.Async,
 		BatchWindow:       opt.BatchWindow,
+		Obs:               opt.Metrics,
 	})
 }
 
@@ -215,17 +216,18 @@ func Exp8(opt ExpOptions) (Exp8Result, error) {
 	return res, nil
 }
 
-// timeGets issues per-op Gets against the pool and returns p50/p99 latency.
+// timeGets issues per-op Gets against the pool and returns p50/p99 latency
+// from an obs histogram (within one bucket of the exact order statistic).
 func timeGets(p *cacheproto.Pool) (p50, p99 time.Duration) {
 	const ops = 200
-	lat := make([]time.Duration, 0, ops)
+	var h obs.Histogram
 	for i := 0; i < ops; i++ {
 		start := time.Now()
 		p.Get(fmt.Sprintf("exp8-probe-%d", i))
-		lat = append(lat, time.Since(start))
+		h.ObserveSince(start)
 	}
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	return lat[ops/2], lat[ops*99/100]
+	s := h.Snapshot()
+	return time.Duration(s.Quantile(0.50)), time.Duration(s.Quantile(0.99))
 }
 
 // waitHealthy polls until the pool's breaker closes or the deadline passes;

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"cachegenie/internal/cacheproto"
 	"cachegenie/internal/kvcache"
+	"cachegenie/internal/obs"
 )
 
 // ---------- Experiment 9: single-node multi-core scaling ----------
@@ -129,9 +129,13 @@ func exp9Run(cache kvcache.Cache, clients int, totalOps int64) Exp9Point {
 		perClient = 1
 	}
 	ops := perClient * int64(clients)
-	samples := make([][]time.Duration, clients)
-	for i := range samples {
-		samples[i] = make([]time.Duration, 0, perClient/exp9SampleEvery+1)
+	// One histogram per client, allocated before the MemStats baseline so the
+	// fixed bucket arrays never show up in AllocsPerOp; Observe itself is
+	// allocation-free. Exact-bucket Merge afterwards yields the aggregate
+	// distribution the sorted-sample concatenation used to.
+	hists := make([]*obs.Histogram, clients)
+	for i := range hists {
+		hists[i] = obs.NewHistogram()
 	}
 
 	var ms0, ms1 runtime.MemStats
@@ -145,7 +149,7 @@ func exp9Run(cache kvcache.Cache, clients int, totalOps int64) Exp9Point {
 			defer wg.Done()
 			// Deterministic per-client LCG: no shared rand, no per-op alloc.
 			r := uint32(id+1)*2654435761 + 12345
-			sample := samples[id]
+			h := hists[id]
 			for i := int64(0); i < perClient; i++ {
 				r = r*1664525 + 1013904223
 				k := keys[r%Exp9Keys]
@@ -160,21 +164,19 @@ func exp9Run(cache kvcache.Cache, clients int, totalOps int64) Exp9Point {
 					cache.Get(k)
 				}
 				if timed {
-					sample = append(sample, time.Since(t0))
+					h.ObserveSince(t0)
 				}
 			}
-			samples[id] = sample
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 
-	var all []time.Duration
-	for _, s := range samples {
-		all = append(all, s...)
+	merged := obs.NewHistogram()
+	for _, h := range hists {
+		merged.Merge(h)
 	}
-	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
 	pt := Exp9Point{
 		Clients:     clients,
 		Ops:         ops,
@@ -182,9 +184,9 @@ func exp9Run(cache kvcache.Cache, clients int, totalOps int64) Exp9Point {
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
 		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
 	}
-	if n := len(all); n > 0 {
-		pt.P50 = all[n/2]
-		pt.P99 = all[n*99/100]
+	if s := merged.Snapshot(); s.Count > 0 {
+		pt.P50 = time.Duration(s.Quantile(0.50))
+		pt.P99 = time.Duration(s.Quantile(0.99))
 	}
 	return pt
 }

@@ -10,6 +10,7 @@ import (
 	"cachegenie/internal/invbus"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/latency"
+	"cachegenie/internal/obs"
 	"cachegenie/internal/orm"
 	"cachegenie/internal/social"
 	"cachegenie/internal/sqldb"
@@ -45,6 +46,10 @@ type ExpOptions struct {
 	// harness builds (0/1 = single-owner routing; Experiment 10 sweeps
 	// R = 1 vs 2 itself and ignores this).
 	Replicas int
+	// Metrics, when non-nil, is the obs registry every stack the harness
+	// builds registers its subsystems into; genieload points its
+	// -metrics-addr endpoint and live ticker at it.
+	Metrics *obs.Registry
 }
 
 func (o ExpOptions) scale() int {
@@ -105,6 +110,7 @@ func (o ExpOptions) buildStack(mode Mode, cacheBytes int64, poolPages int) (*Sta
 		BatchWindow:       o.BatchWindow,
 		Transport:         o.Transport,
 		CacheAddrs:        o.CacheAddrs,
+		Obs:               o.Metrics,
 	})
 }
 
@@ -677,6 +683,7 @@ func BuildStackForExp7(opt ExpOptions, mode Mode, transport CacheTransport, asyn
 		CacheAddrs:        opt.CacheAddrs,
 		AsyncInvalidation: async,
 		BatchWindow:       opt.BatchWindow,
+		Obs:               opt.Metrics,
 	})
 }
 
@@ -847,6 +854,7 @@ func BuildStackForBench(opt ExpOptions, mode Mode, reuseTriggerConns bool, cache
 		CacheNodes:              cacheNodes,
 		Replicas:                opt.Replicas,
 		ReuseTriggerConnections: reuseTriggerConns,
+		Obs:                     opt.Metrics,
 	})
 }
 

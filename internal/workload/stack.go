@@ -10,6 +10,7 @@ import (
 	"cachegenie/internal/core"
 	"cachegenie/internal/kvcache"
 	"cachegenie/internal/latency"
+	"cachegenie/internal/obs"
 	"cachegenie/internal/orm"
 	"cachegenie/internal/social"
 	"cachegenie/internal/sqldb"
@@ -138,6 +139,11 @@ type StackConfig struct {
 	BatchWindow       time.Duration
 	// Sleeper overrides time passage (tests use CountingSleeper).
 	Sleeper latency.Sleeper
+	// Obs, when non-nil, receives every subsystem's metrics registration:
+	// per-node store/server/pool series, the cluster ring, the Genie and its
+	// invalidation bus. Rebuilt components (a revived node's fresh server)
+	// rebind their series in place.
+	Obs *obs.Registry
 }
 
 // Stack is an assembled system under test.
@@ -165,6 +171,9 @@ type Stack struct {
 	// node, in ring order.
 	Servers []*cacheproto.Server
 	Pools   []*cacheproto.Pool
+	// Obs is the metrics registry every subsystem registered into (nil
+	// unless StackConfig.Obs was set).
+	Obs *obs.Registry
 }
 
 // NodeAddrs returns the remote nodes' addresses in ring order (empty for
@@ -332,7 +341,41 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 		st.Close()
 		return nil, fmt.Errorf("workload: seeding: %w", err)
 	}
+	st.Obs = cfg.Obs
+	st.registerMetrics()
 	return st, nil
+}
+
+// registerMetrics attaches every subsystem to the stack's registry (no-op
+// without one): stores, loopback servers, and client pools under per-node
+// labels, plus the cluster ring and the Genie/invalidation-bus counters.
+func (s *Stack) registerMetrics() {
+	if s.Obs == nil {
+		return
+	}
+	nodeID := func(i int) string {
+		if i < len(s.Pools) {
+			return s.Pools[i].Addr()
+		}
+		return fmt.Sprintf("node-%d", i)
+	}
+	for i, store := range s.Stores {
+		store.RegisterMetrics(s.Obs, nodeID(i))
+	}
+	for i, srv := range s.Servers {
+		if srv != nil {
+			srv.Metrics().Register(s.Obs, nodeID(i))
+		}
+	}
+	for _, p := range s.Pools {
+		p.RegisterMetrics(s.Obs, p.Addr())
+	}
+	if s.Ring != nil {
+		s.Ring.RegisterMetrics(s.Obs, "")
+	}
+	if s.Genie != nil {
+		s.Genie.RegisterMetrics(s.Obs, "")
+	}
 }
 
 // KillNode abruptly stops loopback cache node i: its listener closes and
@@ -359,6 +402,11 @@ func (s *Stack) ReviveNode(i int) error {
 		return fmt.Errorf("workload: revive node %d: %w", i, err)
 	}
 	s.Servers[i] = srv
+	if s.Obs != nil {
+		// The fresh server takes over the dead one's series (upsert rebind),
+		// the way a restarted process resumes its scrape target.
+		srv.Metrics().Register(s.Obs, s.Pools[i].Addr())
+	}
 	return nil
 }
 
@@ -379,6 +427,12 @@ type CacheTierStats struct {
 	// BreakerTrips and FailFastOps aggregate the per-node counters above.
 	BreakerTrips int64
 	FailFastOps  int64
+	// NodeWireStats is each remote node's full wire-level stats map in ring
+	// order (nil entries for unreachable nodes; empty for the in-process
+	// transport). The extended stats command carries detail the aggregate
+	// kvcache.Stats projection cannot hold — per-op latency summaries
+	// (op_get_p99_ns, ...), server-side error counts, connection gauges.
+	NodeWireStats []map[string]int64
 }
 
 // HealthLine renders the per-node breaker picture as one compact log line
@@ -412,7 +466,7 @@ func (t CacheTierStats) HealthLine() string {
 func (s *Stack) CacheStats() kvcache.Stats {
 	var agg kvcache.Stats
 	if len(s.Stores) == 0 && len(s.Pools) > 0 {
-		agg, _ = s.wireStats()
+		agg, _, _ = s.wireStats()
 		return agg
 	}
 	for _, st := range s.Stores {
@@ -440,15 +494,15 @@ func (s *Stack) CacheStats() kvcache.Stats {
 func (s *Stack) CacheTierStats() CacheTierStats {
 	var agg CacheTierStats
 	if len(s.Stores) == 0 && len(s.Pools) > 0 {
-		agg.Stats, agg.UnreachableNodes = s.wireStats()
+		agg.Stats, agg.NodeWireStats, agg.UnreachableNodes = s.wireStats()
 		s.aggregatePools(&agg)
 		return agg
 	}
 	agg.Stats = s.CacheStats()
-	for _, p := range s.Pools {
-		if _, err := p.ServerStats(); err != nil {
-			agg.UnreachableNodes++
-		}
+	if len(s.Pools) > 0 {
+		// The reachability probe fetches each node's full stats reply anyway;
+		// keep the per-node maps instead of discarding them.
+		_, agg.NodeWireStats, agg.UnreachableNodes = s.wireStats()
 	}
 	s.aggregatePools(&agg)
 	return agg
@@ -467,22 +521,28 @@ func (s *Stack) aggregatePools(agg *CacheTierStats) {
 	}
 }
 
-// wireStats aggregates the stats command across the pools, counting nodes
-// whose call failed.
-func (s *Stack) wireStats() (agg kvcache.Stats, unreachable int) {
-	for _, p := range s.Pools {
+// wireStats aggregates the stats command across the pools, keeping each
+// node's full stats map (nil for nodes whose call failed) and counting the
+// failures.
+func (s *Stack) wireStats() (agg kvcache.Stats, per []map[string]int64, unreachable int) {
+	per = make([]map[string]int64, len(s.Pools))
+	for i, p := range s.Pools {
 		st, err := p.ServerStats()
 		if err != nil {
 			unreachable++
 			continue
 		}
+		per[i] = st
 		agg.Hits += st["get_hits"]
 		agg.Misses += st["get_misses"]
 		agg.Sets += st["cmd_set"]
+		agg.Deletes += st["cmd_delete"]
 		agg.Evictions += st["evictions"]
+		agg.Expired += st["expired"]
+		agg.CasConflicts += st["cas_conflicts"]
 		agg.Items += st["curr_items"]
 		agg.BytesUsed += st["bytes"]
 		agg.BytesLimit += st["limit_maxbytes"]
 	}
-	return agg, unreachable
+	return agg, per, unreachable
 }
