@@ -1,0 +1,332 @@
+package loadctl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Defaults for CoordinatorConfig's timeouts.
+const (
+	DefaultJoinTimeout    = 60 * time.Second
+	DefaultBarrierTimeout = 60 * time.Second
+)
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// JoinTimeout bounds how long Run waits for the full worker complement
+	// to register (0 = DefaultJoinTimeout).
+	JoinTimeout time.Duration
+	// BarrierTimeout is the slack allowed at each barrier beyond the
+	// spec-implied phase duration: the wait for READY measure is
+	// BarrierTimeout + warmup duration, for READY drain it is
+	// BarrierTimeout + measure duration, and so on. A worker that hasn't
+	// arrived within that window aborts the run (0 = DefaultBarrierTimeout).
+	BarrierTimeout time.Duration
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c CoordinatorConfig) joinTimeout() time.Duration {
+	if c.JoinTimeout <= 0 {
+		return DefaultJoinTimeout
+	}
+	return c.JoinTimeout
+}
+
+func (c CoordinatorConfig) barrierTimeout() time.Duration {
+	if c.BarrierTimeout <= 0 {
+		return DefaultBarrierTimeout
+	}
+	return c.BarrierTimeout
+}
+
+// Coordinator listens for workers and drives runs. Create with
+// NewCoordinator, arm with Listen, then Run once per coordinated run.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	joined chan *workerConn
+	closed bool
+}
+
+// workerConn is one registered worker's control connection.
+type workerConn struct {
+	*ctlConn
+	id    string
+	index int
+}
+
+// NewCoordinator creates a coordinator.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	return &Coordinator{cfg: cfg, joined: make(chan *workerConn, 64)}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Listen binds the control port and starts registering workers in the
+// background; it returns the bound address (useful with port 0). Workers
+// may join before or during Run — registrations queue until a Run claims
+// them.
+func (c *Coordinator) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("loadctl: coordinator listen %s: %w", addr, err)
+	}
+	c.ln = ln
+	go c.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound control address ("" before Listen).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Close stops accepting and tears down any workers that joined but were
+// never claimed by a Run.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	var err error
+	if c.ln != nil {
+		err = c.ln.Close()
+	}
+	for {
+		select {
+		case wc := <-c.joined:
+			wc.close()
+		default:
+			return err
+		}
+	}
+}
+
+// acceptLoop registers workers: each accepted connection must open with a
+// well-formed JOIN within the join timeout or it is dropped — a malformed
+// or silent dialer never wedges the coordinator, it just never joins.
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			wc := newCtlConn(conn)
+			fields, err := wc.readFields(c.cfg.joinTimeout())
+			if err != nil || len(fields) != 2 || fields[0] != "JOIN" {
+				c.logf("loadctl: dropping connection %s: not a JOIN (%v %v)", conn.RemoteAddr(), fields, err)
+				wc.close()
+				return
+			}
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				wc.close()
+				return
+			}
+			select {
+			case c.joined <- &workerConn{ctlConn: wc, id: fields[1]}:
+				c.logf("loadctl: worker %q joined from %s", fields[1], conn.RemoteAddr())
+			default:
+				// Registration queue full — far beyond any sane worker count.
+				c.logf("loadctl: join queue full, dropping worker %q", fields[1])
+				wc.close()
+			}
+		}()
+	}
+}
+
+// Run waits for the given worker count to join, broadcasts spec (with
+// Workers/WorkerIndex filled per worker, in join order), phases everyone
+// through warmup → measure → drain, collects and merges the results. Any
+// worker error, death, or barrier timeout aborts the whole run: survivors
+// receive ABORT and Run returns a non-nil error naming the culprit.
+func (c *Coordinator) Run(spec Spec, workers int) (*Merged, error) {
+	if c.ln == nil {
+		return nil, errors.New("loadctl: coordinator not listening (call Listen first)")
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("loadctl: need a positive worker count, got %d", workers)
+	}
+	spec.Workers = workers
+	conns, err := c.waitJoin(workers)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, wc := range conns {
+			wc.close()
+		}
+	}()
+
+	// Broadcast the spec, each worker stamped with its index.
+	for i, wc := range conns {
+		sp := spec
+		sp.WorkerIndex = i
+		wc.index = i
+		body, err := json.Marshal(sp)
+		if err != nil {
+			return nil, fmt.Errorf("loadctl: marshal spec: %w", err)
+		}
+		if err := wc.sendPayload("SPEC", body); err != nil {
+			c.abort(conns, fmt.Sprintf("spec send to worker %q failed", wc.id))
+			return nil, fmt.Errorf("loadctl: send spec to worker %q: %w", wc.id, err)
+		}
+	}
+	c.logf("loadctl: %d workers joined, spec broadcast (%d clients x %d workers, measure %v)",
+		workers, spec.Clients, workers, spec.MeasureDuration())
+
+	// Barriers. The READY wait for each phase covers the workers' previous
+	// phase's work, so the allowance grows by the spec-implied duration.
+	slack := c.cfg.barrierTimeout()
+	barriers := []struct {
+		phase string
+		wait  time.Duration
+	}{
+		{PhaseWarmup, slack}, // covers prepare (dials, keyspace seeding)
+		{PhaseMeasure, slack + spec.WarmupDuration()},
+		{PhaseDrain, slack + spec.MeasureDuration()},
+	}
+	for _, b := range barriers {
+		if err := c.barrier(conns, b.phase, b.wait); err != nil {
+			return nil, err
+		}
+		c.logf("loadctl: barrier %q released to %d workers", b.phase, workers)
+	}
+
+	results, err := c.collect(conns, slack)
+	if err != nil {
+		return nil, err
+	}
+	for _, wc := range conns {
+		_ = wc.sendLine("BYE")
+	}
+	m := mergeResults(spec, results)
+	c.logf("loadctl: merged %d workers: %.0f ops/s aggregate (best single %.0f by %q), p99=%v",
+		workers, m.AggOpsPerSec, m.BestWorkerOpsPerSec, m.BestWorkerID,
+		time.Duration(m.Hist.Quantile(0.99)))
+	return m, nil
+}
+
+// waitJoin claims the next `workers` registrations from the accept loop.
+func (c *Coordinator) waitJoin(workers int) ([]*workerConn, error) {
+	conns := make([]*workerConn, 0, workers)
+	timer := time.NewTimer(c.cfg.joinTimeout())
+	defer timer.Stop()
+	for len(conns) < workers {
+		select {
+		case wc := <-c.joined:
+			conns = append(conns, wc)
+		case <-timer.C:
+			for _, wc := range conns {
+				_ = wc.sendLine("ABORT", "join timeout: not enough workers")
+				wc.close()
+			}
+			return nil, fmt.Errorf("loadctl: %d of %d workers joined within %v",
+				len(conns), workers, c.cfg.joinTimeout())
+		}
+	}
+	return conns, nil
+}
+
+// barrier reads READY <phase> from every worker in parallel, then releases
+// them all with GO <phase>. Any ERR line, malformed line, dead connection,
+// or deadline overrun fails the barrier and aborts the run.
+func (c *Coordinator) barrier(conns []*workerConn, phase string, wait time.Duration) error {
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, wc := range conns {
+		wg.Add(1)
+		go func(i int, wc *workerConn) {
+			defer wg.Done()
+			fields, err := wc.readFields(wait)
+			switch {
+			case err != nil:
+				errs[i] = fmt.Errorf("worker %q (index %d) lost before barrier %q: %w", wc.id, wc.index, phase, err)
+			case fields[0] == "ERR":
+				msg := strings.Join(fields[1:], " ")
+				errs[i] = fmt.Errorf("worker %q (index %d) failed: %s", wc.id, wc.index, msg)
+			case len(fields) == 2 && fields[0] == "READY" && fields[1] == phase:
+				// Arrived.
+			default:
+				errs[i] = fmt.Errorf("worker %q (index %d) sent %q at barrier %q", wc.id, wc.index, strings.Join(fields, " "), phase)
+			}
+		}(i, wc)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		c.abort(conns, sanitizeMsg(err.Error()))
+		return fmt.Errorf("loadctl: run aborted at barrier %q: %w", phase, err)
+	}
+	for _, wc := range conns {
+		if err := wc.sendLine("GO", phase); err != nil {
+			c.abort(conns, fmt.Sprintf("barrier %q release to worker %q failed", phase, wc.id))
+			return fmt.Errorf("loadctl: release barrier %q to worker %q: %w", phase, wc.id, err)
+		}
+	}
+	return nil
+}
+
+// collect reads every worker's RESULT payload.
+func (c *Coordinator) collect(conns []*workerConn, wait time.Duration) ([]Result, error) {
+	results := make([]Result, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, wc := range conns {
+		wg.Add(1)
+		go func(i int, wc *workerConn) {
+			defer wg.Done()
+			fields, err := wc.readFields(wait)
+			if err != nil {
+				errs[i] = fmt.Errorf("worker %q result: %w", wc.id, err)
+				return
+			}
+			if fields[0] == "ERR" {
+				errs[i] = fmt.Errorf("worker %q failed: %s", wc.id, strings.Join(fields[1:], " "))
+				return
+			}
+			if len(fields) != 2 || fields[0] != "RESULT" {
+				errs[i] = fmt.Errorf("worker %q sent %q, want RESULT", wc.id, strings.Join(fields, " "))
+				return
+			}
+			body, err := wc.readPayload(fields[1], wait)
+			if err != nil {
+				errs[i] = fmt.Errorf("worker %q result payload: %w", wc.id, err)
+				return
+			}
+			if err := json.Unmarshal(body, &results[i]); err != nil {
+				errs[i] = fmt.Errorf("worker %q result decode: %w", wc.id, err)
+			}
+		}(i, wc)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		c.abort(conns, sanitizeMsg(err.Error()))
+		return nil, fmt.Errorf("loadctl: result collection failed: %w", err)
+	}
+	return results, nil
+}
+
+// abort broadcasts ABORT to every worker (best-effort — some may already be
+// gone; the others must stop generating load and exit non-zero).
+func (c *Coordinator) abort(conns []*workerConn, reason string) {
+	for _, wc := range conns {
+		_ = wc.sendLine("ABORT", sanitizeMsg(reason))
+	}
+}

@@ -1,0 +1,508 @@
+package loadctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cachegenie/internal/obs"
+)
+
+// fakeRunner is a Runner that observes a deterministic latency sample
+// instead of generating real load, so tests can compare the coordinator's
+// wire-merged histogram against merging the same samples directly.
+type fakeRunner struct {
+	seed int64
+
+	mu     sync.Mutex
+	hist   *obs.Histogram
+	phases []string
+	closed int
+
+	failPhase string // phase whose Runner hook should error
+}
+
+func (f *fakeRunner) record(phase string) error {
+	f.mu.Lock()
+	f.phases = append(f.phases, phase)
+	f.mu.Unlock()
+	if f.failPhase == phase {
+		return fmt.Errorf("injected %s failure", phase)
+	}
+	return nil
+}
+
+func (f *fakeRunner) Prepare(spec Spec) error { return f.record(PhasePrepare) }
+func (f *fakeRunner) Warmup(spec Spec) error  { return f.record(PhaseWarmup) }
+
+func (f *fakeRunner) Measure(spec Spec) (Result, error) {
+	if err := f.record(PhaseMeasure); err != nil {
+		return Result{}, err
+	}
+	f.hist = &obs.Histogram{}
+	rng := rand.New(rand.NewSource(f.seed))
+	var ops int64
+	for i := 0; i < 5000; i++ {
+		f.hist.Observe(int64(rng.ExpFloat64() * 100e3)) // ~100µs scale
+		ops++
+	}
+	return Result{
+		Ops:       ops,
+		Hits:      ops - 100,
+		Misses:    100,
+		Errors:    int64(f.seed % 3),
+		ElapsedNs: int64(100+10*f.seed) * int64(time.Millisecond),
+		Hist:      f.hist.Snapshot(),
+	}, nil
+}
+
+func (f *fakeRunner) Close() {
+	f.mu.Lock()
+	f.closed++
+	f.mu.Unlock()
+}
+
+func testSpec() Spec {
+	return Spec{
+		Experiment: "exp11",
+		Clients:    4,
+		WarmupMs:   5,
+		MeasureMs:  20,
+		Keys:       1024,
+		ValueBytes: 64,
+		WritePct:   10,
+		Seed:       42,
+		CacheAddrs: []string{"127.0.0.1:0"},
+		Replicas:   1,
+	}
+}
+
+func startCoordinator(t *testing.T, cfg CoordinatorConfig) *Coordinator {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	c := NewCoordinator(cfg)
+	if _, err := c.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCoordinatedRunMergesExactly(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: 5 * time.Second})
+
+	const workers = 3
+	runners := make([]*fakeRunner, workers)
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		runners[i] = &fakeRunner{seed: int64(i + 1)}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunWorker(c.Addr(), WorkerConfig{ID: fmt.Sprintf("w%d", i), Logf: t.Logf}, runners[i])
+		}(i)
+	}
+
+	m, err := c.Run(testSpec(), workers)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator run: %v", err)
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+	}
+
+	// Every worker ran the full phase sequence and closed exactly via the
+	// deferred+explicit path (Close is idempotent).
+	for i, r := range runners {
+		want := []string{PhasePrepare, PhaseWarmup, PhaseMeasure}
+		if got := strings.Join(r.phases, ","); got != strings.Join(want, ",") {
+			t.Errorf("worker %d phases = %s, want %s", i, got, strings.Join(want, ","))
+		}
+		if r.closed == 0 {
+			t.Errorf("worker %d never closed", i)
+		}
+	}
+
+	// The coordinator's merge must be bucket-identical to merging the
+	// runners' local histograms directly — no wire-induced drift.
+	direct := &obs.Histogram{}
+	var wantOps int64
+	for _, r := range runners {
+		direct.Merge(r.hist)
+	}
+	for _, res := range results {
+		wantOps += res.Ops
+	}
+	ds := direct.Snapshot()
+	if m.Hist.Count != ds.Count || m.Hist.Sum != ds.Sum || m.Hist.Max != ds.Max {
+		t.Fatalf("merged header = (%d,%d,%d), direct = (%d,%d,%d)",
+			m.Hist.Count, m.Hist.Sum, m.Hist.Max, ds.Count, ds.Sum, ds.Max)
+	}
+	if len(m.Hist.Buckets) != len(ds.Buckets) {
+		t.Fatalf("merged has %d buckets, direct %d", len(m.Hist.Buckets), len(ds.Buckets))
+	}
+	for i := range ds.Buckets {
+		if m.Hist.Buckets[i] != ds.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, direct %d", i, m.Hist.Buckets[i], ds.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := m.Hist.Quantile(q), ds.Quantile(q); got != want {
+			t.Errorf("q%.3f: merged %d, direct %d", q, got, want)
+		}
+	}
+	if m.Ops != wantOps {
+		t.Errorf("merged ops = %d, want %d", m.Ops, wantOps)
+	}
+	if m.AggOpsPerSec <= m.BestWorkerOpsPerSec {
+		t.Errorf("aggregate %.0f ops/s should exceed best single worker %.0f",
+			m.AggOpsPerSec, m.BestWorkerOpsPerSec)
+	}
+	if got := len(m.Results); got != workers {
+		t.Errorf("merged %d results, want %d", got, workers)
+	}
+	// WorkerIndex assignment partitions the keyspace exactly.
+	seen := make(map[int]bool)
+	covered := 0
+	for _, res := range m.Results {
+		if seen[res.WorkerIndex] {
+			t.Errorf("worker index %d assigned twice", res.WorkerIndex)
+		}
+		seen[res.WorkerIndex] = true
+		sp := m.Spec
+		sp.Workers = workers
+		sp.WorkerIndex = res.WorkerIndex
+		lo, hi := sp.KeyRange()
+		covered += hi - lo
+	}
+	if covered != m.Spec.Keys {
+		t.Errorf("key slices cover %d keys, want %d", covered, m.Spec.Keys)
+	}
+}
+
+func TestWorkerPrepareFailureAbortsRun(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: 5 * time.Second})
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		r := &fakeRunner{seed: int64(i + 1)}
+		if i == 1 {
+			r.failPhase = PhasePrepare // e.g. unreachable -cache-addrs
+		}
+		wg.Add(1)
+		go func(i int, r *fakeRunner) {
+			defer wg.Done()
+			_, workerErrs[i] = RunWorker(c.Addr(), WorkerConfig{ID: fmt.Sprintf("w%d", i)}, r)
+		}(i, r)
+	}
+
+	_, err := c.Run(testSpec(), 2)
+	wg.Wait()
+	if err == nil {
+		t.Fatal("coordinator run succeeded despite a worker prepare failure")
+	}
+	if !strings.Contains(err.Error(), "injected prepare failure") {
+		t.Errorf("coordinator error %q does not name the worker failure", err)
+	}
+	// The healthy worker must have been aborted, not left hanging.
+	if workerErrs[0] == nil || !strings.Contains(workerErrs[0].Error(), "aborted") {
+		t.Errorf("healthy worker error = %v, want abort", workerErrs[0])
+	}
+	if workerErrs[1] == nil {
+		t.Error("failing worker reported success")
+	}
+}
+
+// rawWorker speaks the protocol by hand up to and including the GO for
+// `until`, then returns the open connection so the test can kill it at a
+// precise point in the run.
+func rawWorker(t *testing.T, addr, id, until string) *ctlConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw worker dial: %v", err)
+	}
+	cc := newCtlConn(conn)
+	if err := cc.sendLine("JOIN", id); err != nil {
+		t.Fatalf("raw worker join: %v", err)
+	}
+	if _, err := recvSpec(cc, 5*time.Second); err != nil {
+		t.Fatalf("raw worker spec: %v", err)
+	}
+	for _, phase := range []string{PhaseWarmup, PhaseMeasure, PhaseDrain} {
+		if err := cc.sendLine("READY", phase); err != nil {
+			t.Fatalf("raw worker ready %s: %v", phase, err)
+		}
+		fields, err := cc.readFields(10 * time.Second)
+		if err != nil || len(fields) != 2 || fields[0] != "GO" {
+			t.Fatalf("raw worker barrier %s: %v %v", phase, fields, err)
+		}
+		if phase == until {
+			break
+		}
+	}
+	return cc
+}
+
+func TestWorkerDeathMidMeasureAbortsRun(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: 2 * time.Second})
+
+	var wg sync.WaitGroup
+	var healthyErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, healthyErr = RunWorker(c.Addr(), WorkerConfig{ID: "healthy"}, &fakeRunner{seed: 1})
+	}()
+	wg.Add(1)
+	var runErr error
+	var done = make(chan *Merged, 1)
+	go func() {
+		defer wg.Done()
+		m, err := c.Run(testSpec(), 2)
+		runErr = err
+		done <- m
+	}()
+
+	// Walk the doomed worker through the measure release, then kill it: it
+	// dies mid-measure, before ever reaching the drain barrier.
+	cc := rawWorker(t, c.Addr(), "doomed", PhaseMeasure)
+	cc.close()
+
+	wg.Wait()
+	if m := <-done; m != nil || runErr == nil {
+		t.Fatalf("run = (%v, %v), want abort error", m, runErr)
+	}
+	if !strings.Contains(runErr.Error(), "doomed") {
+		t.Errorf("coordinator error %q does not name the dead worker", runErr)
+	}
+	if healthyErr == nil || !strings.Contains(healthyErr.Error(), "aborted") {
+		t.Errorf("healthy worker error = %v, want abort", healthyErr)
+	}
+}
+
+func TestBarrierTimeoutAbortsRun(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: 300 * time.Millisecond})
+
+	// One real worker, one that joins and receives the spec but never
+	// announces READY.
+	var wg sync.WaitGroup
+	var healthyErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, healthyErr = RunWorker(c.Addr(), WorkerConfig{ID: "healthy"}, &fakeRunner{seed: 1})
+	}()
+
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatalf("silent worker dial: %v", err)
+	}
+	silent := newCtlConn(conn)
+	defer silent.close()
+	if err := silent.sendLine("JOIN", "silent"); err != nil {
+		t.Fatalf("silent worker join: %v", err)
+	}
+
+	start := time.Now()
+	runErrc := make(chan error, 1)
+	go func() {
+		_, err := c.Run(testSpec(), 2)
+		runErrc <- err
+	}()
+	// The silent worker consumes its spec and then says nothing.
+	if _, err := recvSpec(silent, 10*time.Second); err != nil {
+		t.Fatalf("silent worker spec: %v", err)
+	}
+
+	err = <-runErrc
+	if err == nil {
+		t.Fatal("run succeeded despite a silent worker")
+	}
+	if !strings.Contains(err.Error(), "silent") {
+		t.Errorf("coordinator error %q does not name the silent worker", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("barrier timeout took %v — hung instead of failing fast", elapsed)
+	}
+	// The silent worker must see the ABORT on its connection.
+	fields, err := silent.readFields(5 * time.Second)
+	if err != nil || fields[0] != "ABORT" {
+		t.Errorf("silent worker read %v %v, want ABORT", fields, err)
+	}
+	wg.Wait()
+	if healthyErr == nil {
+		t.Error("healthy worker reported success despite aborted run")
+	}
+}
+
+func TestJoinTimeout(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 400 * time.Millisecond, BarrierTimeout: time.Second})
+
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	lone := newCtlConn(conn)
+	defer lone.close()
+	if err := lone.sendLine("JOIN", "lone"); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+
+	_, err = c.Run(testSpec(), 2)
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 workers joined") {
+		t.Fatalf("run error = %v, want join timeout naming 1 of 2", err)
+	}
+	// The worker that did join is told the run is off.
+	fields, rerr := lone.readFields(2 * time.Second)
+	if rerr != nil || fields[0] != "ABORT" {
+		t.Errorf("joined worker read %v %v, want ABORT", fields, rerr)
+	}
+}
+
+func TestMalformedJoinIsDroppedNotWedging(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: 5 * time.Second})
+
+	// A connection that speaks garbage instead of JOIN must be dropped
+	// without consuming a worker slot or wedging the run.
+	garbage, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatalf("garbage dial: %v", err)
+	}
+	defer garbage.Close()
+	if _, err := garbage.Write([]byte("HELO not-a-join extra fields\r\n")); err != nil {
+		t.Fatalf("garbage write: %v", err)
+	}
+	// An oversized "line" with no newline must also be rejected, not buffered.
+	oversize, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatalf("oversize dial: %v", err)
+	}
+	defer oversize.Close()
+	if _, err := oversize.Write(make([]byte, maxLineBytes+100)); err != nil {
+		t.Fatalf("oversize write: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, workerErrs[i] = RunWorker(c.Addr(), WorkerConfig{ID: fmt.Sprintf("w%d", i)}, &fakeRunner{seed: int64(i + 1)})
+		}(i)
+	}
+	m, err := c.Run(testSpec(), 2)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("run with garbage dialers present: %v", err)
+	}
+	if len(m.Results) != 2 {
+		t.Fatalf("merged %d results, want 2", len(m.Results))
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+}
+
+func TestTruncatedResultFailsRun(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: time.Second})
+
+	// Hand-drive one worker through all barriers, then send a RESULT whose
+	// declared size exceeds the bytes actually sent and close.
+	var runErr error
+	donec := make(chan struct{})
+	go func() {
+		defer close(donec)
+		_, runErr = c.Run(testSpec(), 1)
+	}()
+	cc := rawWorker(t, c.Addr(), "liar", PhaseDrain)
+	body, _ := json.Marshal(Result{WorkerID: "liar", Ops: 1})
+	if err := cc.sendLine("RESULT", fmt.Sprint(len(body)+500)); err != nil {
+		t.Fatalf("send lying result header: %v", err)
+	}
+	cc.w.Write(body) // fewer bytes than declared
+	cc.w.Flush()
+	cc.close()
+
+	<-donec
+	if runErr == nil {
+		t.Fatal("run accepted a truncated result")
+	}
+	if !strings.Contains(runErr.Error(), "liar") {
+		t.Errorf("error %q does not name the worker", runErr)
+	}
+}
+
+func TestBogusVerbAtBarrierFailsRun(t *testing.T) {
+	c := startCoordinator(t, CoordinatorConfig{JoinTimeout: 5 * time.Second, BarrierTimeout: time.Second})
+
+	var runErr error
+	donec := make(chan struct{})
+	go func() {
+		defer close(donec)
+		_, runErr = c.Run(testSpec(), 1)
+	}()
+	conn, err := net.Dial("tcp", c.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cc := newCtlConn(conn)
+	defer cc.close()
+	if err := cc.sendLine("JOIN", "bogus"); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if _, err := recvSpec(cc, 5*time.Second); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	if err := cc.sendLine("FLURP", "warmup"); err != nil {
+		t.Fatalf("send bogus verb: %v", err)
+	}
+
+	<-donec
+	if runErr == nil || !strings.Contains(runErr.Error(), "FLURP") {
+		t.Fatalf("run error = %v, want rejection naming the bogus verb", runErr)
+	}
+}
+
+func TestSpecKeyRangePartition(t *testing.T) {
+	for _, tc := range []struct{ keys, workers int }{{1024, 1}, {1024, 2}, {1000, 3}, {7, 4}} {
+		covered := 0
+		prevHi := 0
+		for i := 0; i < tc.workers; i++ {
+			s := Spec{Keys: tc.keys, Workers: tc.workers, WorkerIndex: i}
+			lo, hi := s.KeyRange()
+			if lo != prevHi {
+				t.Errorf("keys=%d workers=%d index=%d: lo=%d, want %d (contiguous)", tc.keys, tc.workers, i, lo, prevHi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.keys || prevHi != tc.keys {
+			t.Errorf("keys=%d workers=%d: covered %d ending at %d", tc.keys, tc.workers, covered, prevHi)
+		}
+	}
+}
+
+func TestWorkerRejectsBadID(t *testing.T) {
+	for _, id := range []string{"", "two words", "tab\tid"} {
+		if _, err := RunWorker("127.0.0.1:1", WorkerConfig{ID: id}, &fakeRunner{}); err == nil {
+			t.Errorf("RunWorker accepted bad ID %q", id)
+		}
+	}
+}

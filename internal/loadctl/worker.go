@@ -1,0 +1,194 @@
+package loadctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Runner is what a worker process actually runs between barriers. The
+// worker loop owns the protocol; the Runner owns the load generation.
+// Close must be idempotent — it runs on every exit path, including aborts.
+type Runner interface {
+	// Prepare dials the cache tier and allocates clients. An error here is
+	// reported to the coordinator as ERR prepare and aborts the whole run —
+	// this is where an unreachable -cache-addrs node surfaces loudly.
+	Prepare(spec Spec) error
+	// Warmup seeds the worker's owned key slice and runs unmeasured load.
+	Warmup(spec Spec) error
+	// Measure runs the measured window and returns this worker's counters
+	// and latency snapshot (WorkerID/WorkerIndex are stamped by the loop).
+	Measure(spec Spec) (Result, error)
+	// Close releases connections. Called after the drain barrier releases,
+	// so no worker tears down while another is still measuring.
+	Close()
+}
+
+// WorkerConfig tunes RunWorker.
+type WorkerConfig struct {
+	// ID names this worker in coordinator logs and merged results. Must be
+	// non-empty and contain no whitespace (it travels on a control line).
+	ID string
+	// JoinTimeout bounds the dial plus the wait for SPEC
+	// (0 = DefaultJoinTimeout).
+	JoinTimeout time.Duration
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) joinTimeout() time.Duration {
+	if c.JoinTimeout <= 0 {
+		return DefaultJoinTimeout
+	}
+	return c.JoinTimeout
+}
+
+// RunWorker dials the coordinator, registers, and drives r through one
+// coordinated run. It returns the worker's own Result on success; any
+// error (local failure, coordinator ABORT, lost connection) is terminal
+// for the run and the process should exit non-zero.
+func RunWorker(addr string, cfg WorkerConfig, r Runner) (Result, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if len(strings.Fields(cfg.ID)) != 1 {
+		return Result{}, fmt.Errorf("loadctl: worker ID %q must be one non-empty whitespace-free token", cfg.ID)
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, cfg.joinTimeout())
+	if err != nil {
+		return Result{}, fmt.Errorf("loadctl: dial coordinator %s: %w", addr, err)
+	}
+	cc := newCtlConn(conn)
+	defer cc.close()
+	defer r.Close()
+
+	if err := cc.sendLine("JOIN", cfg.ID); err != nil {
+		return Result{}, fmt.Errorf("loadctl: join: %w", err)
+	}
+	spec, err := recvSpec(cc, cfg.joinTimeout())
+	if err != nil {
+		return Result{}, err
+	}
+	lo, hi := spec.KeyRange()
+	logf("loadctl: worker %s joined as index %d/%d (clients=%d keys=[%d,%d) of %d, measure %v)",
+		cfg.ID, spec.WorkerIndex, spec.Workers, spec.Clients,
+		lo, hi, spec.Keys, spec.MeasureDuration())
+
+	// Prepare is worker-local (no barrier): dial the tier now so a bad
+	// -cache-addrs fails the run before anyone starts loading.
+	if err := r.Prepare(spec); err != nil {
+		_ = cc.sendLine("ERR", PhasePrepare, sanitizeMsg(err.Error()))
+		return Result{}, fmt.Errorf("loadctl: prepare: %w", err)
+	}
+
+	// Warmup barrier, then warmup.
+	if err := barrierWait(cc, PhaseWarmup, spec, cfg); err != nil {
+		return Result{}, err
+	}
+	logf("loadctl: worker %s warming up (%v)", cfg.ID, spec.WarmupDuration())
+	if err := r.Warmup(spec); err != nil {
+		_ = cc.sendLine("ERR", PhaseWarmup, sanitizeMsg(err.Error()))
+		return Result{}, fmt.Errorf("loadctl: warmup: %w", err)
+	}
+
+	// Measure barrier, then the measured window.
+	if err := barrierWait(cc, PhaseMeasure, spec, cfg); err != nil {
+		return Result{}, err
+	}
+	logf("loadctl: worker %s measuring (%v)", cfg.ID, spec.MeasureDuration())
+	res, err := r.Measure(spec)
+	if err != nil {
+		_ = cc.sendLine("ERR", PhaseMeasure, sanitizeMsg(err.Error()))
+		return Result{}, fmt.Errorf("loadctl: measure: %w", err)
+	}
+	res.WorkerID = cfg.ID
+	res.WorkerIndex = spec.WorkerIndex
+
+	// Drain barrier: nobody tears down until everyone has stopped measuring.
+	if err := barrierWait(cc, PhaseDrain, spec, cfg); err != nil {
+		return Result{}, err
+	}
+	r.Close()
+
+	body, err := json.Marshal(res)
+	if err != nil {
+		return Result{}, fmt.Errorf("loadctl: marshal result: %w", err)
+	}
+	if err := cc.sendPayload("RESULT", body); err != nil {
+		return Result{}, fmt.Errorf("loadctl: send result: %w", err)
+	}
+	// Wait for BYE so the coordinator has consumed the result (and any
+	// late ABORT from a sibling's failure is surfaced as our failure too).
+	fields, err := cc.readFields(cfg.joinTimeout())
+	if err != nil {
+		return Result{}, fmt.Errorf("loadctl: awaiting BYE: %w", err)
+	}
+	if fields[0] == "ABORT" {
+		return Result{}, abortError(fields)
+	}
+	if fields[0] != "BYE" {
+		return Result{}, fmt.Errorf("loadctl: coordinator sent %v, want BYE", fields)
+	}
+	logf("loadctl: worker %s done: %d ops (%.0f ops/s)", cfg.ID, res.Ops, res.OpsPerSec())
+	return res, nil
+}
+
+// recvSpec reads "SPEC <n>" plus its JSON payload.
+func recvSpec(cc *ctlConn, timeout time.Duration) (Spec, error) {
+	fields, err := cc.readFields(timeout)
+	if err != nil {
+		return Spec{}, fmt.Errorf("loadctl: awaiting spec: %w", err)
+	}
+	if fields[0] == "ABORT" {
+		return Spec{}, abortError(fields)
+	}
+	if len(fields) != 2 || fields[0] != "SPEC" {
+		return Spec{}, fmt.Errorf("loadctl: coordinator sent %v, want SPEC", fields)
+	}
+	body, err := cc.readPayload(fields[1], timeout)
+	if err != nil {
+		return Spec{}, fmt.Errorf("loadctl: spec payload: %w", err)
+	}
+	var spec Spec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return Spec{}, fmt.Errorf("loadctl: spec decode: %w", err)
+	}
+	return spec, nil
+}
+
+// barrierWait announces arrival and blocks for the release. The worker
+// waits generously — the coordinator is the one enforcing barrier budgets;
+// the worker only needs to notice ABORT or a dead coordinator.
+func barrierWait(cc *ctlConn, phase string, spec Spec, cfg WorkerConfig) error {
+	if err := cc.sendLine("READY", phase); err != nil {
+		return fmt.Errorf("loadctl: announce ready %s: %w", phase, err)
+	}
+	// Release can take as long as the slowest sibling's previous phase.
+	wait := cfg.joinTimeout() + spec.WarmupDuration() + spec.MeasureDuration()
+	fields, err := cc.readFields(wait)
+	if err != nil {
+		return fmt.Errorf("loadctl: awaiting release of barrier %q: %w", phase, err)
+	}
+	if fields[0] == "ABORT" {
+		return abortError(fields)
+	}
+	if len(fields) != 2 || fields[0] != "GO" || fields[1] != phase {
+		return fmt.Errorf("loadctl: coordinator sent %v at barrier %q, want GO", fields, phase)
+	}
+	return nil
+}
+
+func abortError(fields []string) error {
+	return fmt.Errorf("loadctl: run aborted by coordinator: %s", joinTail(fields))
+}
+
+func joinTail(fields []string) string {
+	if len(fields) < 2 {
+		return "(no reason given)"
+	}
+	return strings.Join(fields[1:], " ")
+}

@@ -214,6 +214,110 @@ func TestNilHistogramSafe(t *testing.T) {
 	}
 }
 
+// TestSnapshotWireRoundTrip is the distributed-merge contract: per-worker
+// snapshots encoded, decoded, and merged on the far side must be bucket-
+// identical to merging the live histograms in-process — every quantile
+// matches exactly, not approximately.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	workers := make([]*Histogram, 3)
+	for i := range workers {
+		workers[i] = NewHistogram()
+		for j := 0; j < 5000; j++ {
+			workers[i].Observe(int64(math.Exp(10 + 2*rng.NormFloat64())))
+		}
+	}
+	workers[0].Observe(0)
+	workers[1].Observe(math.MaxInt64)
+
+	// In-process merge: the reference.
+	direct := NewHistogram()
+	for _, w := range workers {
+		direct.Merge(w)
+	}
+	ref := direct.Snapshot()
+
+	// Wire merge: encode each worker's snapshot, decode, Add.
+	var wire HistSnapshot
+	for _, w := range workers {
+		text, err := w.Snapshot().MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got HistSnapshot
+		if err := got.UnmarshalText(text); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		wire.Add(got)
+	}
+
+	if wire.Count != ref.Count || wire.Sum != ref.Sum || wire.Max != ref.Max {
+		t.Fatalf("wire merge count/sum/max = %d/%d/%d, want %d/%d/%d",
+			wire.Count, wire.Sum, wire.Max, ref.Count, ref.Sum, ref.Max)
+	}
+	for i := range ref.Buckets {
+		if wire.Buckets[i] != ref.Buckets[i] {
+			t.Fatalf("bucket %d: wire %d != direct %d", i, wire.Buckets[i], ref.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := wire.Quantile(q), ref.Quantile(q); got != want {
+			t.Fatalf("q=%g: wire %d != direct %d", q, got, want)
+		}
+	}
+
+	// Loading the wire merge back into a live histogram keeps it exact.
+	loaded := NewHistogram()
+	loaded.AddSnapshot(wire)
+	if got := loaded.Snapshot(); got.Count != ref.Count || got.Quantile(0.99) != ref.Quantile(0.99) {
+		t.Fatalf("AddSnapshot count %d p99 %d, want %d / %d",
+			got.Count, got.Quantile(0.99), ref.Count, ref.Quantile(0.99))
+	}
+
+	// JSON embedding uses the compact text form.
+	text, _ := ref.MarshalText()
+	if len(text) == 0 || text[0] != 'h' {
+		t.Fatalf("unexpected encoding prefix %q", text[:min(len(text), 4)])
+	}
+}
+
+// TestSnapshotWireRejectsCorruption: truncated or tampered transmissions
+// must fail decoding, never skew a merged distribution silently.
+func TestSnapshotWireRejectsCorruption(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 997)
+	}
+	good, err := h.Snapshot().MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"empty":            "",
+		"short header":     "h1 3",
+		"bad version":      "h9 " + string(good[3:]),
+		"bad count":        "h1 x 0 0",
+		"bad bucket pair":  "h1 1 5 5 12",
+		"index range":      "h1 1 5 5 99999:1",
+		"index descending": "h1 2 5 5 7:1 3:1",
+		"zero count pair":  "h1 1 5 5 7:0",
+		// Dropping the trailing buckets leaves the declared count higher
+		// than the buckets can account for — the truncation signature.
+		"truncated buckets": string(good[:len(good)-len(good)/3]),
+	}
+	for name, in := range cases {
+		var s HistSnapshot
+		if err := s.UnmarshalText([]byte(in)); err == nil {
+			t.Errorf("%s: decode of %q unexpectedly succeeded", name, in)
+		}
+	}
+	// Sanity: the untampered encoding still decodes.
+	var s HistSnapshot
+	if err := s.UnmarshalText(good); err != nil {
+		t.Fatalf("good encoding rejected: %v", err)
+	}
+}
+
 // TestConcurrentObserveSnapshot churns Observe/Merge/Snapshot/Quantile across
 // goroutines; run under -race this is the data-race gate, and the final count
 // checks no observation was lost.

@@ -257,6 +257,12 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 	switch {
 	case cfg.Transport == TransportRemote && len(cfg.CacheAddrs) > 0:
 		// Externally launched geniecache nodes (cmd/geniecache -nodes N).
+		// Dial each once up front: an unreachable node used to surface as a
+		// silent zero-hit run, not an error.
+		if err := PreflightCacheAddrs(cfg.CacheAddrs, cfg.OpTimeout); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("workload: cache tier preflight: %w", err)
+		}
 		for _, addr := range cfg.CacheAddrs {
 			pool := newPool(addr)
 			st.Pools = append(st.Pools, pool)
