@@ -1,0 +1,23 @@
+// Package bad violates genielint invariants on purpose. The e2e test in
+// cmd/genielint asserts the linter reports each violation at its position
+// and exits nonzero.
+package bad
+
+import (
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+//genie:hotpath
+func hot(p []byte) string {
+	return fmt.Sprintf("%x", p)
+}
+
+func leak() {
+	mu.Lock()
+}
+
+var _ = hot
+var _ = leak

@@ -1,0 +1,20 @@
+// Package good keeps every genielint invariant; the e2e test asserts a
+// clean run exits zero with no output.
+package good
+
+import "sync"
+
+var mu sync.Mutex
+
+//genie:hotpath
+func hot(p []byte) int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, b := range p {
+		n += int(b)
+	}
+	return n
+}
+
+var _ = hot

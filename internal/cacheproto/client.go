@@ -73,18 +73,22 @@ func DialTimeout(addr string, opTimeout time.Duration) (*Client, error) {
 // Addr returns the server address this client is connected to.
 func (c *Client) Addr() string { return c.addr }
 
-// Close closes the connection.
+// Close closes the connection, sending a best-effort quit first so the
+// server tears down cleanly; the op deadline bounds the farewell too.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !c.broken {
-		c.w.WriteString("quit\r\n")
+		c.armDeadline()
+		_, _ = c.w.WriteString("quit\r\n")
 		_ = c.w.Flush()
 	}
 	return c.conn.Close()
 }
 
 // armDeadline sets the per-operation connection deadline. Caller holds c.mu.
+//
+//genie:hotpath
 func (c *Client) armDeadline() {
 	if c.opTimeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
@@ -108,6 +112,7 @@ func (c *Client) fail(err error) error {
 	return err
 }
 
+//genie:hotpath
 func ttlSeconds(ttl time.Duration) int64 {
 	if ttl <= 0 {
 		return 0
@@ -121,15 +126,23 @@ func ttlSeconds(ttl time.Duration) int64 {
 
 // readLine returns the next response line with \r\n trimmed. The slice
 // points into the read buffer (or c.line) and is valid until the next read.
+//
+//genie:deadlinearmed every caller arms the per-op deadline before the exchange
 func (c *Client) readLine() ([]byte, error) {
 	return readProtoLine(c.r, &c.line)
 }
 
 // cmd starts a fresh request in the build buffer.
+//
+//genie:hotpath
 func (c *Client) cmd() []byte { return c.wbuf[:0] }
 
 // sendLine writes the built command line (plus optional data block) and
-// flushes. Caller holds c.mu.
+// flushes. Caller holds c.mu. Intermediate write errors surface as bufio's
+// sticky error on the final Flush.
+//
+//genie:deadlinearmed every caller arms the per-op deadline before the exchange
+//genie:hotpath
 func (c *Client) sendLine(b []byte, data []byte) error {
 	b = append(b, '\r', '\n')
 	c.wbuf = b
@@ -143,6 +156,8 @@ func (c *Client) sendLine(b []byte, data []byte) error {
 
 // roundTrip sends the built command and returns the first response line.
 // Caller holds c.mu; the returned slice is valid until the next read.
+//
+//genie:hotpath
 func (c *Client) roundTrip(b []byte, data []byte) ([]byte, error) {
 	if c.broken {
 		return nil, errClientBroken
@@ -229,6 +244,8 @@ func (c *Client) Gets(key string) ([]byte, uint64, bool) {
 }
 
 // appendStoreCmd builds "<verb> <key> 0 <exptime> <bytes>[ <cas>]".
+//
+//genie:hotpath
 func (c *Client) appendStoreCmd(b []byte, verb, key string, ttl time.Duration, size int) []byte {
 	b = append(b, verb...)
 	b = append(b, ' ')
@@ -241,6 +258,8 @@ func (c *Client) appendStoreCmd(b []byte, verb, key string, ttl time.Duration, s
 }
 
 // set is Set with the connection error exposed (for the Pool).
+//
+//genie:hotpath
 func (c *Client) set(key string, value []byte, ttl time.Duration) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -254,6 +273,8 @@ func (c *Client) Set(key string, value []byte, ttl time.Duration) {
 }
 
 // add is Add with the connection error exposed (for the Pool).
+//
+//genie:hotpath
 func (c *Client) add(key string, value []byte, ttl time.Duration) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -295,6 +316,8 @@ func (c *Client) Cas(key string, value []byte, ttl time.Duration, cas uint64) kv
 }
 
 // del is Delete with the connection error exposed (for the Pool).
+//
+//genie:hotpath
 func (c *Client) del(key string) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -311,6 +334,8 @@ func (c *Client) Delete(key string) bool {
 }
 
 // incr is Incr with the connection error exposed (for the Pool).
+//
+//genie:hotpath
 func (c *Client) incr(key string, delta int64) (int64, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -322,7 +347,7 @@ func (c *Client) incr(key string, delta int64) (int64, bool, error) {
 	if err != nil {
 		return 0, false, err
 	}
-	if string(line) == "NOT_FOUND" || bytes.HasPrefix(line, []byte("CLIENT_ERROR")) {
+	if string(line) == "NOT_FOUND" || bytes.HasPrefix(line, clientErrorPrefix) {
 		return 0, false, nil
 	}
 	n, ok := atoi(line)
@@ -467,13 +492,22 @@ func (c *Client) applyBatch(ops []kvcache.BatchOp) ([]kvcache.BatchResult, error
 	return out, nil
 }
 
+// Error-reply prefixes, hoisted so response classification on the hot path
+// never re-materializes them as fresh slices.
+var (
+	clientErrorPrefix = []byte("CLIENT_ERROR")
+	serverErrorPrefix = []byte("SERVER_ERROR")
+)
+
 // isErrorLine reports whether a response line is one of the protocol's error
 // replies (memcached's ERROR / CLIENT_ERROR msg / SERVER_ERROR msg), which
 // can replace a result line mid-batch when the server aborts.
+//
+//genie:hotpath
 func isErrorLine(line []byte) bool {
 	return string(line) == "ERROR" ||
-		bytes.HasPrefix(line, []byte("CLIENT_ERROR")) ||
-		bytes.HasPrefix(line, []byte("SERVER_ERROR"))
+		bytes.HasPrefix(line, clientErrorPrefix) ||
+		bytes.HasPrefix(line, serverErrorPrefix)
 }
 
 // maxKeyBytes is memcached's classic key-length bound.

@@ -117,6 +117,10 @@ type Pool struct {
 	cfg PoolConfig
 	m   *PoolMetrics // always-on; see PoolMetrics
 
+	// mu guards checkout state only; dials and round trips happen with it
+	// released (cond.Wait releases it too). lockscope-enforced.
+	//
+	//genie:nonblocking
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled when a connection returns or the pool state changes
 	idle    []*Client

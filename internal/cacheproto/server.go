@@ -64,11 +64,26 @@ const maxMopOps = 1 << 16
 // requests; a one-off near-limit value doesn't pin its memory forever.
 const retainedValueBuf = 64 << 10
 
+// defaultIOTimeout is the per-request I/O budget a new Server starts with;
+// see Server.IOTimeout.
+const defaultIOTimeout = 30 * time.Second
+
 // Server serves the text protocol for a Store.
 type Server struct {
 	store *kvcache.Store
 	m     *ServerMetrics // always-on; see ServerMetrics
 
+	// IOTimeout bounds the I/O of one in-flight request: once a command
+	// line has arrived, the data-block read and the response write must
+	// complete within it or the connection is dropped. It does NOT bound
+	// the idle wait between requests — persistent connections may sit
+	// quiet indefinitely. <= 0 disables the deadline. Set before Listen.
+	IOTimeout time.Duration
+
+	// mu guards listener/conn bookkeeping; accept and serve loops run
+	// outside it.
+	//
+	//genie:nonblocking
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -79,7 +94,12 @@ type Server struct {
 
 // NewServer wraps store.
 func NewServer(store *kvcache.Store) *Server {
-	return &Server{store: store, m: &ServerMetrics{}, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store:     store,
+		m:         &ServerMetrics{},
+		conns:     make(map[net.Conn]struct{}),
+		IOTimeout: defaultIOTimeout,
+	}
 }
 
 // Metrics returns the server's always-on instrumentation, for registry
@@ -173,6 +193,11 @@ type serverConn struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 
+	// conn/ioTimeout arm the per-request deadline (Server.IOTimeout); both
+	// stay zero when benchmarks drive the dispatch loop without a socket.
+	conn      net.Conn
+	ioTimeout time.Duration
+
 	m *ServerMetrics
 
 	line      []byte   // overflow line assembly (lines longer than the bufio buffer)
@@ -205,6 +230,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.m.ActiveConns.Add(1)
 	defer s.m.ActiveConns.Add(-1)
 	c := s.newServerConn(bufio.NewReader(conn), bufio.NewWriter(conn))
+	c.conn = conn
+	c.ioTimeout = s.IOTimeout
 	for {
 		if !c.serveOne() {
 			return
@@ -212,7 +239,29 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// armDeadline starts the per-request I/O clock: every read and write until
+// clearDeadline must finish within ioTimeout, so a peer that stalls
+// mid-request (half-sent payload, unread response) cannot pin this
+// goroutine and its buffers forever.
+func (c *serverConn) armDeadline() {
+	if c.conn == nil || c.ioTimeout <= 0 {
+		return
+	}
+	_ = c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+}
+
+// clearDeadline returns the connection to deadline-free idling between
+// requests.
+func (c *serverConn) clearDeadline() {
+	if c.conn == nil || c.ioTimeout <= 0 {
+		return
+	}
+	_ = c.conn.SetDeadline(time.Time{})
+}
+
 // serveOne processes one command; reports whether the connection lives on.
+//
+//genie:hotpath
 func (c *serverConn) serveOne() bool {
 	line, err := c.readLine()
 	if err != nil {
@@ -221,8 +270,15 @@ func (c *serverConn) serveOne() bool {
 	if len(line) == 0 {
 		return true
 	}
+	c.armDeadline()
+	defer c.clearDeadline()
 	fields := splitFields(line, c.fields[:0])
 	c.fields = fields[:0] // keep a grown header buffer for reuse
+	if len(fields) == 0 {
+		// Whitespace-only line: non-empty, so it wasn't skipped above, but
+		// it splits to zero fields. Treat like an empty line.
+		return true
+	}
 	// Classify before dispatch: set/add/cas read their data block mid-dispatch,
 	// which refills the bufio buffer and invalidates the field slices.
 	kind := classifyCmd(fields[0])
@@ -231,7 +287,7 @@ func (c *serverConn) serveOne() bool {
 	c.m.OpNanos[kind].ObserveSince(start)
 	if err != nil {
 		c.m.Errors.Inc()
-		fmt.Fprintf(c.w, "CLIENT_ERROR %s\r\n", err)
+		fmt.Fprintf(c.w, "CLIENT_ERROR %s\r\n", err) //genie:nolint hotpathalloc -- protocol-error branch is cold by definition
 	}
 	if err := c.w.Flush(); err != nil || quit {
 		return false
@@ -250,6 +306,9 @@ func (c *serverConn) readLine() ([]byte, error) {
 // returned slice points into r's buffer, or into *scratch when the line
 // outgrew it (rare slow path, assembled across ReadSlice calls). Shared by
 // the server and client connection loops; valid until the next read from r.
+//
+//genie:deadlinearmed client callers arm the per-op deadline; the server's idle wait between requests is deliberately unbounded
+//genie:hotpath
 func readProtoLine(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	line, err := r.ReadSlice('\n')
 	if err == bufio.ErrBufferFull {
@@ -266,6 +325,7 @@ func readProtoLine(r *bufio.Reader, scratch *[]byte) ([]byte, error) {
 	return trimCRLF(line), nil
 }
 
+//genie:hotpath
 func trimCRLF(line []byte) []byte {
 	for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
 		line = line[:len(line)-1]
@@ -275,6 +335,8 @@ func trimCRLF(line []byte) []byte {
 
 // splitFields splits line on runs of spaces and tabs into dst (reused
 // between calls), the in-place equivalent of strings.Fields.
+//
+//genie:hotpath
 func splitFields(line []byte, dst [][]byte) [][]byte {
 	i := 0
 	for i < len(line) {
@@ -296,6 +358,8 @@ func splitFields(line []byte, dst [][]byte) [][]byte {
 // Values past int64 range are rejected, not wrapped — a wrapped byte count
 // would desync the stream framing (the client's payload would be parsed as
 // commands).
+//
+//genie:hotpath
 func atoi(b []byte) (int64, bool) {
 	if len(b) == 0 {
 		return 0, false
@@ -328,6 +392,8 @@ func atoi(b []byte) (int64, bool) {
 
 // atou parses a decimal uint64 without allocating; out-of-range values are
 // rejected, not wrapped.
+//
+//genie:hotpath
 func atou(b []byte) (uint64, bool) {
 	if len(b) == 0 {
 		return 0, false
@@ -346,12 +412,19 @@ func atou(b []byte) (uint64, bool) {
 	return n, true
 }
 
-// writeInt / writeUint append a number to the response without fmt.
+// writeInt / writeUint append a number to the response without fmt. The
+// bytes land in the bufio buffer; serveOne's armed deadline bounds the
+// flush.
+//
+//genie:deadlinearmed serveOne arms the per-request deadline before dispatch
+//genie:hotpath
 func (c *serverConn) writeInt(n int64) {
 	c.num = strconv.AppendInt(c.num[:0], n, 10)
 	c.w.Write(c.num)
 }
 
+//genie:deadlinearmed serveOne arms the per-request deadline before dispatch
+//genie:hotpath
 func (c *serverConn) writeUint(n uint64) {
 	c.num = strconv.AppendUint(c.num[:0], n, 10)
 	c.w.Write(c.num)
@@ -359,6 +432,9 @@ func (c *serverConn) writeUint(n uint64) {
 
 // readData consumes a data block of n bytes plus its \r\n terminator into
 // the connection's reusable value buffer.
+//
+//genie:deadlinearmed serveOne arms the per-request deadline before dispatch
+//genie:hotpath
 func (c *serverConn) readData(n int) ([]byte, error) {
 	need := n + 2
 	if cap(c.val) < need {
@@ -377,6 +453,11 @@ func (c *serverConn) readData(n int) ([]byte, error) {
 	return buf[:n], nil
 }
 
+// dispatch executes one parsed command, writing its response into the
+// buffered writer. Cold error branches use fmt/errors by design; the per-op
+// hot branches stay allocation-free (measured by the -benchmem CI gate).
+//
+//genie:deadlinearmed serveOne arms the per-request deadline before dispatch
 func (c *serverConn) dispatch(fields [][]byte) (quit bool, err error) {
 	w := c.w
 	// The switch converts the command bytes without allocating

@@ -54,6 +54,10 @@ import (
 // pass cleans again. Nodes that cannot be enumerated (dead, or no key
 // listing) are skipped and counted in HandoffStats.
 type Manager struct {
+	// mu guards membership state; routing reads it per op, so nothing under
+	// it may block (handoff I/O runs under handoffMu instead).
+	//
+	//genie:nonblocking
 	mu    sync.RWMutex
 	ring  *Ring
 	ids   []string                 // membership in join order

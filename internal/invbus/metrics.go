@@ -28,8 +28,8 @@ func (b *Bus) RegisterMetrics(reg *obs.Registry, labels string) {
 			}
 			return depth
 		})
-	reg.GaugeFunc("cachegenie_invbus_max_lag_nanos", labels,
-		"worst observed publish-to-apply delay in nanoseconds", b.maxLag.Load)
+	reg.GaugeFuncUnit("cachegenie_invbus_max_lag_seconds", labels,
+		"worst observed publish-to-apply delay", obs.UnitNanoseconds, b.maxLag.Load)
 	reg.RegisterHistogram("cachegenie_invbus_flush_batch_size", labels,
 		"ops per flushed batch, pre-coalescing", obs.UnitNone, &b.flushSize)
 	reg.RegisterHistogram("cachegenie_invbus_publish_stall_seconds", labels,

@@ -132,6 +132,10 @@ func exactCopy(value []byte) []byte {
 // shard is one lock stripe: an independent map + LRU + byte budget. The pad
 // keeps hot shard headers on separate cache lines.
 type shard struct {
+	// The shard lock is pure-compute territory: one goroutine blocking
+	// inside it stalls every key that hashes here (lockscope-enforced).
+	//
+	//genie:nonblocking
 	mu         sync.Mutex
 	items      map[string]*entry
 	lru        *list.List // front = most recently used
@@ -277,6 +281,8 @@ func (s *Store) shardIndex(key string) int {
 // ---------- per-shard internals (caller holds sh.mu) ----------
 
 // expiredLocked reports and reaps an expired entry.
+//
+//genie:hotpath
 func (s *Store) expiredLocked(sh *shard, e *entry) bool {
 	if e.expires == 0 || s.now().UnixNano() < e.expires {
 		return false
@@ -286,6 +292,7 @@ func (s *Store) expiredLocked(sh *shard, e *entry) bool {
 	return true
 }
 
+//genie:hotpath
 func removeLocked(sh *shard, e *entry) {
 	delete(sh.items, e.key)
 	sh.lru.Remove(e.lruEl)
@@ -295,6 +302,8 @@ func removeLocked(sh *shard, e *entry) {
 // get is the shared lookup; bump controls LRU promotion. The paper notes
 // that trigger touches bump keys even though the application is not "using"
 // them, and suggests a modified LRU; GetQuiet exposes that policy.
+//
+//genie:hotpath
 func (s *Store) get(sh *shard, key string, bump bool) (*entry, bool) {
 	e, ok := sh.items[key]
 	if !ok {
@@ -315,6 +324,8 @@ func (s *Store) get(sh *shard, key string, bump bool) (*entry, bool) {
 // getBytes is get for a []byte key; the map lookup converts without
 // allocating (compiler-recognized pattern), keeping the protocol hot path
 // allocation-free.
+//
+//genie:hotpath
 func (s *Store) getBytes(sh *shard, key []byte, bump bool) (*entry, bool) {
 	e, ok := sh.items[string(key)]
 	if !ok {
@@ -344,6 +355,8 @@ func (s *Store) ttlToExpiry(ttl time.Duration) int64 {
 // capacity is far larger than needed: buffer reuse must not pin an entry's
 // historical peak size against a budget that only accounts its current
 // length.
+//
+//genie:hotpath
 func overwriteValue(dst, value []byte) []byte {
 	if cap(dst) >= len(value) && cap(dst) <= 4*len(value)+64 {
 		return append(dst[:0], value...)
@@ -354,6 +367,8 @@ func overwriteValue(dst, value []byte) []byte {
 // setLocked writes key=value, creating or replacing, and evicts to fit. An
 // existing entry's value buffer is reused when it has (reasonable)
 // capacity, so steady overwrite traffic does not allocate.
+//
+//genie:hotpath
 func (s *Store) setLocked(sh *shard, key string, value []byte, ttl time.Duration, bump bool) {
 	seq := s.casSeq.Add(1)
 	if e, ok := sh.items[key]; ok {
@@ -382,6 +397,8 @@ func (s *Store) setLocked(sh *shard, key string, value []byte, ttl time.Duration
 
 // setBytesLocked is setLocked for a []byte key: overwrites look the key up
 // without converting, so only a first-time insert pays the string copy.
+//
+//genie:hotpath
 func (s *Store) setBytesLocked(sh *shard, key, value []byte, ttl time.Duration, bump bool) {
 	seq := s.casSeq.Add(1)
 	if e, ok := sh.items[string(key)]; ok {
@@ -395,7 +412,7 @@ func (s *Store) setBytesLocked(sh *shard, key, value []byte, ttl time.Duration, 
 		}
 	} else {
 		e := &entry{
-			key:     string(key),
+			key:     string(key), //genie:nolint hotpathalloc -- a first-time insert must own its key; overwrites never reach this branch
 			value:   exactCopy(value),
 			casID:   seq,
 			expires: s.ttlToExpiry(ttl),
@@ -410,6 +427,8 @@ func (s *Store) setBytesLocked(sh *shard, key, value []byte, ttl time.Duration, 
 
 // afterWriteLocked runs the post-write maintenance: the paced expiry sweep,
 // then eviction back under the shard's budget.
+//
+//genie:hotpath
 func (s *Store) afterWriteLocked(sh *shard) {
 	sh.writeCount++
 	if sh.writeCount >= sweepEveryWrites {
@@ -423,6 +442,8 @@ func (s *Store) afterWriteLocked(sh *shard) {
 // expired ones. Cold entries sink to the tail, so on TTL-heavy workloads
 // this is exactly where dead entries accumulate; the walk is bounded so the
 // cost stays amortized-constant per write.
+//
+//genie:hotpath
 func (s *Store) sweepLocked(sh *shard, maxScan int) {
 	nowNano := s.now().UnixNano()
 	el := sh.lru.Back()
@@ -440,6 +461,8 @@ func (s *Store) sweepLocked(sh *shard, maxScan int) {
 // evictLocked drops LRU-tail entries until the shard fits its budget. A tail
 // entry that is already past its TTL counts as expired, not evicted — it was
 // dead weight, not live data squeezed out.
+//
+//genie:hotpath
 func (s *Store) evictLocked(sh *shard) {
 	if sh.capacity <= 0 {
 		return
@@ -698,6 +721,8 @@ func (s *Store) Len() int {
 // GetsAppendB looks a []byte key up and appends its value to dst, returning
 // the extended slice, the entry's CAS token, and whether it was live. The
 // only allocation is dst growth, which the caller amortizes by reuse.
+//
+//genie:hotpath
 func (s *Store) GetsAppendB(dst, key []byte) ([]byte, uint64, bool) {
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
@@ -710,6 +735,8 @@ func (s *Store) GetsAppendB(dst, key []byte) ([]byte, uint64, bool) {
 }
 
 // SetB is Set for a []byte key.
+//
+//genie:hotpath
 func (s *Store) SetB(key, value []byte, ttl time.Duration) {
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
@@ -718,6 +745,8 @@ func (s *Store) SetB(key, value []byte, ttl time.Duration) {
 }
 
 // AddB is Add for a []byte key.
+//
+//genie:hotpath
 func (s *Store) AddB(key, value []byte, ttl time.Duration) bool {
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
@@ -730,6 +759,8 @@ func (s *Store) AddB(key, value []byte, ttl time.Duration) bool {
 }
 
 // CasB is Cas for a []byte key.
+//
+//genie:hotpath
 func (s *Store) CasB(key, value []byte, ttl time.Duration, cas uint64) CasResult {
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
@@ -747,6 +778,8 @@ func (s *Store) CasB(key, value []byte, ttl time.Duration, cas uint64) CasResult
 }
 
 // DeleteB is Delete for a []byte key.
+//
+//genie:hotpath
 func (s *Store) DeleteB(key []byte) bool {
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
@@ -764,6 +797,8 @@ func (s *Store) DeleteB(key []byte) bool {
 }
 
 // IncrB is Incr for a []byte key.
+//
+//genie:hotpath
 func (s *Store) IncrB(key []byte, delta int64) (int64, bool) {
 	sh := s.shardForBytes(key)
 	sh.mu.Lock()
@@ -784,6 +819,7 @@ func (s *Store) IncrB(key []byte, delta int64) (int64, bool) {
 	return n, true
 }
 
+//genie:hotpath
 func parseDecimal(b []byte) (int64, bool) {
 	if len(b) == 0 {
 		return 0, false
@@ -810,6 +846,7 @@ func parseDecimal(b []byte) (int64, bool) {
 	return n, true
 }
 
+//genie:hotpath
 func appendDecimal(dst []byte, n int64) []byte {
 	if n < 0 {
 		dst = append(dst, '-')

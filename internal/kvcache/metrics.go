@@ -34,8 +34,8 @@ func (s *Store) RegisterMetrics(reg *obs.Registry, node string) {
 		"compare-and-swaps refused on a stale token", view(func(st Stats) int64 { return st.CasConflicts }))
 	reg.GaugeFunc("cachegenie_store_items", labels,
 		"live entries", view(func(st Stats) int64 { return st.Items }))
-	reg.GaugeFunc("cachegenie_store_bytes_used", labels,
+	reg.GaugeFunc("cachegenie_store_used_bytes", labels,
 		"bytes of keys and values resident", view(func(st Stats) int64 { return st.BytesUsed }))
-	reg.GaugeFunc("cachegenie_store_bytes_limit", labels,
+	reg.GaugeFunc("cachegenie_store_limit_bytes", labels,
 		"configured byte budget", view(func(st Stats) int64 { return st.BytesLimit }))
 }

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockScope enforces two mutex disciplines:
+//
+//  1. Every sync.Mutex/RWMutex Lock()/RLock() must have a matching
+//     Unlock()/RUnlock() on the same receiver somewhere in the same
+//     function (direct or deferred). Lock/unlock pairs split across
+//     functions ("caller unlocks") are how shard locks leak.
+//
+//  2. Mutex fields or variables annotated //genie:nonblocking (the shard
+//     and pool data locks — anything a request path contends on) must not
+//     be held across blocking calls: channel sends/receives, select,
+//     time.Sleep, net dials, raw conn/bufio I/O, or WaitGroup.Wait. One
+//     goroutine sleeping inside a shard lock stalls every key that hashes
+//     there — the latency cliff the striped store exists to avoid.
+//
+// The held region is approximated conservatively in source order: from the
+// Lock to the first matching non-deferred Unlock (or to the end of the
+// function when the Unlock is deferred). Branch-heavy manual unlock
+// patterns (the pool's checkout loop) therefore stay quiet, while the
+// common defer-scoped shape is checked end to end. sync.Cond.Wait is
+// exempt: it releases the mutex while blocked.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "mutex Lock/Unlock pairing and no blocking calls under //genie:nonblocking mutexes",
+	Run:  runLockScope,
+}
+
+var lockPairs = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockScope(pass *Pass) error {
+	nonblocking := collectNonblockingMutexes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockScopeFunc(pass, fn, nonblocking)
+		}
+	}
+	return nil
+}
+
+// collectNonblockingMutexes finds mutex struct fields and package-level
+// vars whose declaration carries //genie:nonblocking.
+func collectNonblockingMutexes(pass *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(names []*ast.Ident, doc, line *ast.CommentGroup) {
+		if !commentGroupHasMarker(doc, "nonblocking") && !commentGroupHasMarker(line, "nonblocking") {
+			return
+		}
+		for _, name := range names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					mark(field.Names, field.Doc, field.Comment)
+				}
+			case *ast.ValueSpec:
+				mark(n.Names, n.Doc, n.Comment)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func commentGroupHasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := c.Text
+		if len(text) >= 2 && (containsMarker(text, marker)) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsMarker(text, marker string) bool {
+	for i := 0; i+len("genie:")+len(marker) <= len(text); i++ {
+		if text[i:i+len("genie:")] == "genie:" && text[i+len("genie:"):i+len("genie:")+len(marker)] == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// lockEvent is one Lock/Unlock call site within a function, in source order.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // receiver text, e.g. "sh.mu"
+	name     string // Lock | RLock | Unlock | RUnlock
+	deferred bool
+	obj      types.Object // field/var object of the mutex, if resolvable
+}
+
+func checkLockScopeFunc(pass *Pass, fn *ast.FuncDecl, nonblocking map[types.Object]bool) {
+	var events []lockEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		deferred := false
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			call = n.Call
+			deferred = true
+		case *ast.CallExpr:
+			call = n
+		default:
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if _, isLock := lockPairs[name]; !isLock && name != "Unlock" && name != "RUnlock" {
+			return true
+		}
+		if rt := recvTypeName(pass.Info, call); rt != "sync.Mutex" && rt != "sync.RWMutex" {
+			return true
+		}
+		events = append(events, lockEvent{
+			pos:      call.Pos(),
+			recv:     exprText(sel.X),
+			name:     name,
+			deferred: deferred,
+			obj:      mutexObject(pass.Info, sel.X),
+		})
+		return !deferred // a deferred Unlock's args need no walk
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	for _, ev := range events {
+		unlockName, isLock := lockPairs[ev.name]
+		if !isLock {
+			continue
+		}
+		// Rule 1: a matching Unlock on the same receiver, somewhere in the
+		// same function.
+		end := token.Pos(0)
+		haveDeferred := false
+		for _, other := range events {
+			if other.recv != ev.recv || other.name != unlockName || other.pos <= ev.pos {
+				continue
+			}
+			if other.deferred {
+				haveDeferred = true
+				continue
+			}
+			end = other.pos
+			break
+		}
+		if end == 0 && !haveDeferred {
+			pass.Reportf(ev.pos, "%s.%s() without a matching %s in this function; lock/unlock pairs must not straddle function boundaries", ev.recv, ev.name, unlockName)
+			continue
+		}
+		// Rule 2: nothing blocking while an annotated mutex is held.
+		if ev.obj == nil || !nonblocking[ev.obj] {
+			continue
+		}
+		if end == 0 {
+			end = fn.Body.End() // deferred unlock: held to function exit
+		}
+		reportBlockingBetween(pass, fn, ev, end)
+	}
+}
+
+// mutexObject resolves the mutex expression ("sh.mu") to the field or var
+// object of its final selector.
+func mutexObject(info *types.Info, x ast.Expr) types.Object {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.ParenExpr:
+		return mutexObject(info, x.X)
+	}
+	return nil
+}
+
+// blockingFuncs maps package path → function names that block.
+var blockingFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true, "After": false /* returning a chan is fine */},
+	"net":  {"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true},
+}
+
+// blockingMethodRecv are receiver types whose I/O methods block on the
+// network (or a peer's read pace).
+var blockingMethodRecv = map[string]bool{
+	"bufio.Reader": true,
+	"bufio.Writer": true,
+}
+
+func reportBlockingBetween(pass *Pass, fn *ast.FuncDecl, ev lockEvent, end token.Pos) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= ev.pos || n.Pos() >= end {
+			// Still descend: a node can start before ev.pos but contain the
+			// held region.
+			return n.End() > ev.pos
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a goroutine body launched under the lock runs later
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while %s is held (//genie:nonblocking); a full channel stalls every waiter on this mutex", ev.recv)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while %s is held (//genie:nonblocking)", ev.recv)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select while %s is held (//genie:nonblocking)", ev.recv)
+			return false
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if pkg := calleePkgPath(pass.Info, n); pkg != "" {
+				if fns, ok := blockingFuncs[pkg]; ok && fns[name] {
+					pass.Reportf(n.Pos(), "%s.%s while %s is held (//genie:nonblocking)", pkg, name, ev.recv)
+					return true
+				}
+			}
+			rt := recvTypeName(pass.Info, n)
+			switch {
+			case rt == "sync.WaitGroup" && name == "Wait":
+				pass.Reportf(n.Pos(), "WaitGroup.Wait while %s is held (//genie:nonblocking)", ev.recv)
+			case isNetConnExpr(pass.Info, n) && (name == "Read" || name == "Write"):
+				pass.Reportf(n.Pos(), "net.Conn %s while %s is held (//genie:nonblocking)", name, ev.recv)
+			case blockingMethodRecv[rt] && ioMethodNames[name]:
+				pass.Reportf(n.Pos(), "%s.%s (network I/O) while %s is held (//genie:nonblocking)", rt, name, ev.recv)
+			}
+		}
+		return true
+	})
+}
+
+// isNetConnExpr reports whether a method call's receiver implements or is
+// net.Conn (interface receivers resolve through Selections).
+func isNetConnExpr(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net" && (obj.Name() == "Conn" || obj.Name() == "TCPConn")
+}

@@ -1,0 +1,42 @@
+// Package hotpath exercises the hotpathalloc analyzer.
+package hotpath
+
+import "fmt"
+
+//genie:hotpath
+func hot(b []byte, s string) string {
+	_ = fmt.Sprintf("x %d", len(b)) // want `fmt\.Sprintf allocates`
+	k := string(b)                  // want `string\(\[\]byte\) conversion`
+	_ = []byte(s)                   // want `\[\]byte\(string\) conversion`
+	f := func() {}                  // want `closure in hot path`
+	f()
+	return k + s // want `string concatenation`
+}
+
+// allowedContexts: the compiler-recognized non-allocating string([]byte)
+// uses must stay quiet.
+//
+//genie:hotpath
+func allowedContexts(m map[string]int, b []byte) int {
+	switch string(b) {
+	case "x":
+		return 1
+	}
+	if string(b) == "y" {
+		return 2
+	}
+	return m[string(b)]
+}
+
+func sink(v any) {}
+
+//genie:hotpath
+func boxing(n int, p *int) {
+	sink(n) // want `boxes the value`
+	sink(p)
+}
+
+// cold is unannotated: everything here is fine.
+func cold(b []byte) string {
+	return fmt.Sprintf("%s!", string(b))
+}

@@ -1,0 +1,83 @@
+// Package lockscope exercises the lockscope analyzer.
+package lockscope
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	//genie:nonblocking
+	mu   sync.Mutex
+	ch   chan int
+	data map[string]int
+}
+
+func (s *shard) leak() {
+	s.mu.Lock() // want `without a matching Unlock`
+	s.data["k"] = 1
+}
+
+func (s *shard) ok() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data["k"] = 2
+}
+
+func (s *shard) sleepy() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while s\.mu is held`
+}
+
+func (s *shard) sendy() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *shard) afterUnlock() {
+	s.mu.Lock()
+	s.data["k"] = 3
+	s.mu.Unlock()
+	s.ch <- 2 // released first: fine
+}
+
+func (s *shard) goroutineUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond) // separate goroutine: fine
+	}()
+}
+
+type bus struct {
+	mu   sync.RWMutex
+	subs []chan int
+}
+
+// publish sends under RLock on an unannotated mutex: allowed by design.
+func (b *bus) publish(v int) {
+	b.mu.RLock()
+	for _, ch := range b.subs {
+		ch <- v
+	}
+	b.mu.RUnlock()
+}
+
+func (b *bus) badRead() int {
+	b.mu.RLock() // want `without a matching RUnlock`
+	return len(b.subs)
+}
+
+type plain struct {
+	mu sync.Mutex
+}
+
+// fine sleeps under an unannotated mutex: only //genie:nonblocking mutexes
+// get the blocking-call rule.
+func (p *plain) fine() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,26 @@
+// Package nolintfix exercises //genie:nolint suppression handling (run
+// under the hotpathalloc analyzer).
+package nolintfix
+
+import "fmt"
+
+//genie:hotpath
+func suppressed(b []byte) string {
+	//genie:nolint hotpathalloc -- first-time insert pays the key copy
+	k := string(b)
+	s := fmt.Sprint(k) //genie:nolint hotpathalloc -- cold error branch
+	return s
+}
+
+//genie:hotpath
+func unsuppressed(b []byte) string {
+	//genie:nolint hotpathalloc want `malformed suppression`
+	k := string(b) // want `string\(\[\]byte\) conversion`
+	return k
+}
+
+//genie:hotpath
+func suppressAll(b []byte) string {
+	//genie:nolint all -- demo of the catch-all form
+	return string(b)
+}

@@ -1,0 +1,24 @@
+// Package obs is a minimal stand-in for cachegenie/internal/obs so the
+// obsnaming fixtures resolve an obs.Registry receiver; the analyzer matches
+// on package name + type name, not import path.
+package obs
+
+// Unit mirrors the real registry's value-scaling enum.
+type Unit int
+
+const (
+	UnitNone Unit = iota
+	UnitNanoseconds
+)
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, labels, help string)                                    {}
+func (r *Registry) Gauge(name, labels, help string)                                      {}
+func (r *Registry) CounterFunc(name, labels, help string, fn func() int64)               {}
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64)                 {}
+func (r *Registry) GaugeFuncUnit(name, labels, help string, unit Unit, fn func() int64)  {}
+func (r *Registry) Histogram(name, labels, help string, unit Unit) *Histogram            { return nil }
+func (r *Registry) RegisterHistogram(name, labels, help string, unit Unit, h *Histogram) {}

@@ -1,0 +1,48 @@
+// Package obsfix exercises the obsnaming analyzer.
+package obsfix
+
+import (
+	"fmt"
+
+	"fixtures/obs"
+)
+
+func register(reg *obs.Registry, node string, id int) {
+	reg.Counter("cachegenie_good_ops_total", `node="a"`, "ok")
+	reg.Counter("genieload_ops_total", "", "bad prefix")                      // want `must match cachegenie_`
+	reg.Counter("cachegenie_good_ops", "", "no suffix")                       // want `must end in _total`
+	reg.Gauge("cachegenie_stalls_total", "", "gauge as counter")              // want `must not end in _total`
+	reg.GaugeFunc("cachegenie_lag_nanos", "", "raw nanos", nil)               // want `non-base unit "nanos"`
+	reg.Gauge("cachegenie_bytes_used", "", "unit mid-name")                   // want `must be the final suffix`
+	reg.Counter("cachegenie_"+node+"_total", "", "dynamic")                   // want `compile-time string constant`
+	reg.Counter("cachegenie_keyed_total", `key="abc"`, "per-key")             // want `label key "key"`
+	reg.Counter("cachegenie_fmt_total", fmt.Sprintf(`shard="%d"`, id), "fmt") // want `label key "shard"`
+	reg.Histogram("cachegenie_wait_seconds", "", "ok", obs.UnitNanoseconds)
+	reg.Histogram("cachegenie_wait", "", "nanos histogram", obs.UnitNanoseconds)     // want `not named _seconds`
+	reg.RegisterHistogram("cachegenie_sizes_seconds", "", "none", obs.UnitNone, nil) // want `registered UnitNone`
+	reg.GaugeFuncUnit("cachegenie_lag_seconds", "", "scaled", obs.UnitNanoseconds, nil)
+}
+
+func shardLabels(s string) string {
+	return `shard="` + s + `"`
+}
+
+func registerHelper(reg *obs.Registry) {
+	reg.Counter("cachegenie_helper_total", shardLabels("x"), "helper") // want `label key "shard"`
+}
+
+func registerLocal(reg *obs.Registry, node string) {
+	labels := ""
+	if node != "" {
+		labels = `host="` + node + `"`
+	}
+	reg.Counter("cachegenie_local_total", labels, "local") // want `label key "host"`
+}
+
+func registerNodeLocal(reg *obs.Registry, node string) {
+	labels := ""
+	if node != "" {
+		labels = `node="` + node + `"`
+	}
+	reg.Counter("cachegenie_node_total", labels, "bounded key: fine")
+}

@@ -184,9 +184,14 @@ func mergeResults(spec Spec, results []Result) *Merged {
 	return m
 }
 
+// ctlWriteTimeout bounds one control-plane write+flush. Control messages
+// are small (a line, or a histogram payload of a few KB), so a peer that
+// can't drain them within this window is wedged, not slow.
+const ctlWriteTimeout = 30 * time.Second
+
 // ctlConn frames control lines and payload blocks over one TCP connection.
-// Both ends use it; every read arms a deadline so a dead or wedged peer
-// surfaces as a timeout error instead of a hang.
+// Both ends use it; every read and write arms a deadline so a dead or
+// wedged peer surfaces as a timeout error instead of a hang.
 type ctlConn struct {
 	conn net.Conn
 	r    *bufio.Reader
@@ -201,6 +206,7 @@ func (c *ctlConn) close() { _ = c.conn.Close() }
 
 // sendLine writes one space-joined control line and flushes.
 func (c *ctlConn) sendLine(parts ...string) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(ctlWriteTimeout))
 	for i, p := range parts {
 		if i > 0 {
 			c.w.WriteByte(' ')
@@ -213,6 +219,7 @@ func (c *ctlConn) sendLine(parts ...string) error {
 
 // sendPayload writes "<verb> <n>\r\n<n bytes>\r\n" and flushes.
 func (c *ctlConn) sendPayload(verb string, body []byte) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(ctlWriteTimeout))
 	c.w.WriteString(verb)
 	c.w.WriteByte(' ')
 	c.w.WriteString(strconv.Itoa(len(body)))

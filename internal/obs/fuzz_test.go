@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+)
+
+// FuzzHistSnapshotUnmarshalText throws arbitrary bytes at the snapshot wire
+// decoder. Two properties: no input panics it, and any input it accepts
+// must round-trip (re-marshal and decode again cleanly) — a decoder that
+// admits an encoding its own encoder cannot reproduce would let one
+// corrupted worker transmission skew every merged histogram downstream.
+func FuzzHistSnapshotUnmarshalText(f *testing.F) {
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 997)
+	}
+	good, err := h.Snapshot().MarshalText()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	// The corruption table from TestSnapshotWireRejectsCorruption.
+	for _, s := range []string{
+		"",
+		"h1 3",
+		"h9 " + string(good[3:]),
+		"h1 x 0 0",
+		"h1 1 5 5 12",
+		"h1 1 5 5 99999:1",
+		"h1 2 5 5 7:1 3:1",
+		"h1 1 5 5 7:0",
+		string(good[:len(good)-len(good)/3]),
+		"h1 0 0 0",
+		"h1 1 5 5 7:1 ",
+		"h1 18446744073709551615 0 0",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var s HistSnapshot
+		if err := s.UnmarshalText(in); err != nil {
+			return // rejected input: the common, correct outcome
+		}
+		out, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("accepted input %q but re-marshal failed: %v", in, err)
+		}
+		var s2 HistSnapshot
+		if err := s2.UnmarshalText(out); err != nil {
+			t.Fatalf("round-trip decode of %q failed: %v", out, err)
+		}
+	})
+}

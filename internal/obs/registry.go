@@ -123,6 +123,10 @@ func (m *metric) value() int64 {
 // series in the output — a rebuilt component (a revived node, the next
 // experiment's stack) takes over its names instead of duplicating them.
 type Registry struct {
+	// mu guards the entry list; metric fn callbacks run after snapshotting,
+	// never under it.
+	//
+	//genie:nonblocking
 	mu      sync.Mutex
 	metrics []*metric
 	byKey   map[string]*metric
@@ -182,6 +186,13 @@ func (r *Registry) CounterFunc(name, labels, help string, fn func() int64) {
 // GaugeFunc registers a gauge whose value is read from fn at render time.
 func (r *Registry) GaugeFunc(name, labels, help string, fn func() int64) {
 	r.upsert(&metric{name: name, labels: labels, help: help, kind: KindGauge, fn: fn})
+}
+
+// GaugeFuncUnit is GaugeFunc for values held in a non-base unit: the gauge
+// renders scaled per unit (UnitNanoseconds → float seconds), so a
+// nanosecond-held lag can live behind a _seconds series name.
+func (r *Registry) GaugeFuncUnit(name, labels, help string, unit Unit, fn func() int64) {
+	r.upsert(&metric{name: name, labels: labels, help: help, kind: KindGauge, unit: unit, fn: fn})
 }
 
 // Histogram registers (or rebinds) a histogram and returns it.
@@ -274,7 +285,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				b.WriteString(name)
 				writeLabels(&b, m.labels, "", "")
 				b.WriteByte(' ')
-				b.WriteString(strconv.FormatInt(m.value(), 10))
+				b.WriteString(formatUnit(m.value(), m.unit))
 				b.WriteByte('\n')
 				continue
 			}

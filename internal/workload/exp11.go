@@ -309,14 +309,14 @@ func Exp11PointFromMerged(m *loadctl.Merged) Exp11Point {
 // the JSON artifact.
 func Exp11RegisterMerged(reg *obs.Registry, m *loadctl.Merged) {
 	labels := fmt.Sprintf(`workers="%d"`, m.Spec.Workers)
-	h := reg.Histogram("genieload_coordinated_op_latency_seconds", labels,
+	h := reg.Histogram("cachegenie_coordinated_op_latency_seconds", labels,
 		"Merged per-op latency across all workers of one coordinated run.", obs.UnitNanoseconds)
 	h.AddSnapshot(m.Hist)
-	reg.Counter("genieload_coordinated_ops_total", labels,
+	reg.Counter("cachegenie_coordinated_ops_total", labels,
 		"Operations summed across workers.").Add(m.Ops)
-	reg.Counter("genieload_coordinated_errors_total", labels,
+	reg.Counter("cachegenie_coordinated_errors_total", labels,
 		"Worker-side cache errors summed across workers.").Add(m.Errors)
-	reg.Gauge("genieload_coordinated_workers", labels,
+	reg.Gauge("cachegenie_coordinated_workers", labels,
 		"Worker processes contributing to the merged run.").Set(int64(m.Spec.Workers))
 }
 

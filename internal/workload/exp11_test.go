@@ -131,7 +131,7 @@ func TestExp11QuickSweep(t *testing.T) {
 				i, p.AggOpsPerSec, p.BestWorkerOpsPerSec)
 		}
 	}
-	if len(res.Metrics) == 0 || !strings.Contains(string(res.Metrics), "genieload_coordinated_op_latency_seconds") {
+	if len(res.Metrics) == 0 || !strings.Contains(string(res.Metrics), "cachegenie_coordinated_op_latency_seconds") {
 		t.Error("prometheus dump missing the coordinated latency series")
 	}
 }
