@@ -62,7 +62,7 @@ func reportThroughput(b *testing.B, fn func() (float64, error)) {
 // (paper: a DB B+tree lookup takes 10-25x a memcached get).
 func BenchmarkMicroDBvsCacheLookup(b *testing.B) {
 	model := latency.PaperScaled(50)
-	db := sqldb.Open(sqldb.Config{Latency: model, BufferPoolPages: 1024})
+	db := sqldb.MustOpen(sqldb.Config{Latency: model, BufferPoolPages: 1024})
 	if _, err := db.Exec("CREATE TABLE kv (k INT NOT NULL, v TEXT)"); err != nil {
 		b.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func BenchmarkMicroDBvsCacheLookup(b *testing.B) {
 func BenchmarkMicroTriggerOverhead(b *testing.B) {
 	model := latency.PaperScaled(50)
 	mkDB := func(b *testing.B) *sqldb.DB {
-		db := sqldb.Open(sqldb.Config{Latency: model, BufferPoolPages: 4096})
+		db := sqldb.MustOpen(sqldb.Config{Latency: model, BufferPoolPages: 4096})
 		if _, err := db.Exec("CREATE TABLE t (v TEXT)"); err != nil {
 			b.Fatal(err)
 		}
@@ -531,6 +531,41 @@ func BenchmarkExp11Coordinated(b *testing.B) {
 	}
 }
 
+// BenchmarkExp12CrashRecovery runs the in-process crash drill: write-heavy
+// load into a durable (WAL group commit) engine, DB.Crash mid-flight with
+// open transactions whose trigger effects already reached the cache, then
+// recovery. Expected shape: recovery wall clock grows roughly linearly
+// with replayed log length; lost/resurrected/post-flush violations are
+// exactly zero at every point (the CI crash-drill job asserts the same
+// against a kill -9'd geniedb process). Written to BENCH_exp12.json.
+func BenchmarkExp12CrashRecovery(b *testing.B) {
+	opt := benchOpts()
+	var last workload.Exp12Result
+	var recMs, violations float64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Exp12(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+		final := res.Points[len(res.Points)-1]
+		recMs += final.RecoveryMs
+		for _, p := range res.Points {
+			violations += float64(p.LostCommitted + p.ResurrectedUncommitted + p.ViolationsWithFlush)
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(recMs/n, "recovery-ms-max-point")
+	b.ReportMetric(violations/n, "violations")
+	b.ReportMetric(0, "ns/op")
+	if violations > 0 {
+		b.Fatalf("crash drill leaked %v violations across runs", violations)
+	}
+	if err := workload.WriteExp12JSON("BENCH_exp12.json", last); err != nil {
+		b.Logf("BENCH_exp12.json not written: %v", err)
+	}
+}
+
 // ---------- Experiment 10: replica-aware cluster tier ----------
 
 // BenchmarkExp10ReplicatedFailover reruns the Experiment 8 kill/revive
@@ -655,7 +690,7 @@ func BenchmarkAblationTopKReserve(b *testing.B) {
 // topkChurn runs a fixed insert/delete churn against a top-K cached object
 // and returns how many full recomputes the triggers needed.
 func topkChurn(reserve int) (int64, error) {
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	reg.MustRegister(&orm.ModelDef{
 		Name: "Wall", Table: "wall",

@@ -47,7 +47,7 @@
 //
 // Quick start
 //
-//	db := cachegenie.OpenDB(cachegenie.DBConfig{})
+//	db, _ := cachegenie.OpenDB(cachegenie.DBConfig{})
 //	reg := cachegenie.NewRegistry(db)
 //	reg.MustRegister(&cachegenie.ModelDef{
 //		Name: "Profile", Table: "profiles",
@@ -159,8 +159,10 @@ const (
 	TypeTime  = sqldb.TypeTime
 )
 
-// OpenDB creates a new empty database engine.
-func OpenDB(cfg DBConfig) *DB { return sqldb.Open(cfg) }
+// OpenDB creates a database engine. With DBConfig.DataDir unset it is
+// memory-only and the error is always nil; with DataDir set, Open recovers
+// durable state (snapshot + WAL replay) first.
+func OpenDB(cfg DBConfig) (*DB, error) { return sqldb.Open(cfg) }
 
 // Cache API (internal/kvcache).
 type (

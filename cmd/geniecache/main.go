@@ -133,6 +133,7 @@ func main() {
 	var srvMu sync.Mutex
 	if *killNode >= 0 {
 		i := *killNode
+		//genie:nolint goroleak -- the drill timeline is deliberately process-lifetime; main blocks on signals and exits through os.Exit
 		go func() {
 			time.Sleep(*killAfter)
 			srvMu.Lock()

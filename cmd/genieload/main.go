@@ -19,6 +19,7 @@
 //	genieload -experiment exp9           # single-node multi-core scaling (sharded store)
 //	genieload -experiment exp10          # R-way replication: failover routing + key handoff
 //	genieload -experiment exp11          # coordinated distributed load (in-process sweep)
+//	genieload -experiment exp12          # crash drill: WAL recovery + epoch cache flush
 //	genieload -experiment micro          # §5.3 microbenchmarks
 //	genieload -experiment effort         # §5.2 programmer effort
 //	genieload -experiment ablation       # template-invalidation baseline
@@ -227,7 +228,7 @@ func runCoordinatedWorker(join, id string, addrOverride []string, joinTO time.Du
 }
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, exp9, exp10, exp11, micro, effort, ablation)")
+	experiment := flag.String("experiment", "all", "experiment to run (all, exp1, table2, exp2, exp3, exp4, exp4b, exp5, exp6, exp7, exp8, exp9, exp10, exp11, exp12, micro, effort, ablation)")
 	scale := flag.Int("scale", 50, "latency scale divisor (1 = paper-absolute latencies, slower)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
 	async := flag.Bool("async", false, "route trigger cache maintenance through the async invalidation bus")
@@ -253,6 +254,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "coordinator mode: workload RNG seed (workers derive distinct streams from it)")
 	joinTimeout := flag.Duration("join-timeout", loadctl.DefaultJoinTimeout, "coordinator/worker mode: how long registration may take")
 	barrierTimeout := flag.Duration("barrier-timeout", loadctl.DefaultBarrierTimeout, "coordinator mode: slack past each phase before a missing worker aborts the run")
+	// External crash drill (exp12) against a real geniedb; see the doc comment.
+	dbAddr := flag.String("db-addr", "", "exp12 phases: geniedb dbproto address")
+	exp12Phase := flag.String("exp12-phase", "", "external crash drill phase: load (drive geniedb until it is killed) or verify (audit the restarted geniedb + cache tier)")
+	exp12State := flag.String("exp12-state", "exp12_state.json", "exp12 phases: journal file handed from load to verify across the crash")
 	flag.Parse()
 
 	transport, err := workload.ParseTransport(*transportFlag)
@@ -266,6 +271,30 @@ func main() {
 				addrs = append(addrs, a)
 			}
 		}
+	}
+	if *exp12Phase != "" {
+		if *dbAddr == "" {
+			log.Fatal("genieload: -exp12-phase requires -db-addr (the geniedb under drill)")
+		}
+		switch *exp12Phase {
+		case "load":
+			if err := workload.Exp12Load(*dbAddr, *exp12State, 8, *duration, log.Printf); err != nil {
+				log.Fatalf("genieload: %v", err)
+			}
+			fmt.Printf("exp12 load journal written to %s\n", *exp12State)
+		case "verify":
+			res, err := workload.Exp12Verify(*dbAddr, addrs, *exp12State, log.Printf)
+			if err != nil {
+				log.Fatalf("genieload: %v", err)
+			}
+			if err := workload.WriteExp12JSON("BENCH_exp12.json", res); err != nil {
+				log.Fatalf("genieload: %v", err)
+			}
+			fmt.Println("audit written to BENCH_exp12.json")
+		default:
+			log.Fatalf("genieload: unknown -exp12-phase %q (want load or verify)", *exp12Phase)
+		}
+		return
 	}
 	if *workerMode {
 		runCoordinatedWorker(*joinAddr, *workerID, addrs, *joinTimeout)
@@ -485,6 +514,20 @@ func main() {
 				return err
 			}
 			fmt.Println("sweep written to BENCH_exp11.json")
+			return nil
+		})
+	}
+	if all || *experiment == "exp12" {
+		matched = true
+		run("Experiment 12: crash drill (WAL recovery + recovery-epoch cache flush)", func() error {
+			res, err := workload.Exp12(opt)
+			if err != nil {
+				return err
+			}
+			if err := workload.WriteExp12JSON("BENCH_exp12.json", res); err != nil {
+				return err
+			}
+			fmt.Println("drill written to BENCH_exp12.json")
 			return nil
 		})
 	}

@@ -11,7 +11,10 @@ import (
 
 func main() {
 	// 1. A database and an ORM registry over it.
-	db := cachegenie.OpenDB(cachegenie.DBConfig{})
+	db, err := cachegenie.OpenDB(cachegenie.DBConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	reg := cachegenie.NewRegistry(db)
 	reg.MustRegister(&cachegenie.ModelDef{
 		Name:  "Profile",

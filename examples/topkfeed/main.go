@@ -12,7 +12,10 @@ import (
 )
 
 func main() {
-	db := cachegenie.OpenDB(cachegenie.DBConfig{})
+	db, err := cachegenie.OpenDB(cachegenie.DBConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	reg := cachegenie.NewRegistry(db)
 	reg.MustRegister(&cachegenie.ModelDef{
 		Name:  "Wall",

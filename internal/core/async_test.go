@@ -13,7 +13,7 @@ import (
 // armed (async trigger propagation).
 func newAsyncStack(t testing.TB, strategy Strategy) *stack {
 	t.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	reg.MustRegister(&orm.ModelDef{
 		Name:  "Profile",

@@ -21,7 +21,7 @@ type stack struct {
 
 func newStack(t testing.TB) *stack {
 	t.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	reg.MustRegister(&orm.ModelDef{
 		Name:  "Profile",
@@ -492,7 +492,7 @@ func TestSpecValidation(t *testing.T) {
 }
 
 func TestEvictionFallsBackToDatabase(t *testing.T) {
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	reg.MustRegister(&orm.ModelDef{
 		Name: "Profile", Table: "profiles",

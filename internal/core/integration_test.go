@@ -32,7 +32,7 @@ func TestGenieOverRemoteCache(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = cli.Close() })
 
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	reg.MustRegister(&orm.ModelDef{
 		Name: "Profile", Table: "profiles",
@@ -86,7 +86,7 @@ func TestGenieOverCacheCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	reg.MustRegister(&orm.ModelDef{
 		Name: "Profile", Table: "profiles",

@@ -6,11 +6,13 @@
 package dbproto
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"cachegenie/internal/sqldb"
 )
@@ -25,6 +27,11 @@ const (
 	OpBegin    Op = "begin"
 	OpCommit   Op = "commit"
 	OpRollback Op = "rollback"
+	// OpEpoch returns the DB's recovery epoch; OpRecovery additionally
+	// returns what the last Open found on disk. The workload stack polls
+	// the epoch and flushes the cache tier when it changes.
+	OpEpoch    Op = "epoch"
+	OpRecovery Op = "recovery"
 )
 
 // Request is one client request.
@@ -40,11 +47,26 @@ type Response struct {
 	Result  sqldb.Result
 	Columns []string
 	Rows    []sqldb.Row
+	// Epoch/Recovery answer OpEpoch and OpRecovery.
+	Epoch    uint64
+	Recovery sqldb.RecoveryInfo
 }
+
+// defaultIOTimeout is the per-request I/O budget a new Server starts with;
+// see Server.IOTimeout.
+const defaultIOTimeout = 30 * time.Second
 
 // Server exposes a DB over TCP.
 type Server struct {
 	db *sqldb.DB
+
+	// IOTimeout bounds one in-flight request: once its first byte has
+	// arrived, the request decode, execution (including a group-commit
+	// fsync wait), and response encode must complete within it or the
+	// connection is dropped. It does NOT bound the idle wait between
+	// requests — sessions may sit quiet indefinitely. <= 0 disables the
+	// deadline. Set before Listen.
+	IOTimeout time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -56,7 +78,7 @@ type Server struct {
 
 // NewServer wraps db.
 func NewServer(db *sqldb.DB) *Server {
-	return &Server{db: db, conns: make(map[net.Conn]struct{})}
+	return &Server{db: db, conns: make(map[net.Conn]struct{}), IOTimeout: defaultIOTimeout}
 }
 
 // Listen binds addr and starts serving; returns the bound address.
@@ -115,9 +137,24 @@ func (s *Server) Close() error {
 	return err
 }
 
+// armDeadline starts the per-request I/O clock on conn; a peer that stalls
+// mid-request (half-sent gob, unread response) cannot pin the serving
+// goroutine forever.
+func armDeadline(conn net.Conn, d time.Duration) {
+	if d > 0 {
+		_ = conn.SetDeadline(time.Now().Add(d))
+	}
+}
+
+// clearDeadline returns conn to deadline-free idling between requests.
+func clearDeadline(conn net.Conn) {
+	_ = conn.SetDeadline(time.Time{})
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	var tx *sqldb.Txn
 	defer func() {
@@ -126,6 +163,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 	for {
+		// Deadline-free idle wait for the request's first byte, then the
+		// whole request round trip runs against IOTimeout.
+		clearDeadline(conn)
+		if _, err := br.Peek(1); err != nil {
+			return
+		}
+		armDeadline(conn, s.IOTimeout)
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return
@@ -190,6 +234,10 @@ func (s *Server) handle(tx **sqldb.Txn, req Request) Response {
 			return fail(err)
 		}
 		return Response{Columns: rs.Columns, Rows: rs.Rows}
+	case OpEpoch:
+		return Response{Epoch: s.db.Epoch()}
+	case OpRecovery:
+		return Response{Epoch: s.db.Epoch(), Recovery: s.db.Recovery()}
 	}
 	return fail(fmt.Errorf("dbproto: unknown op %q", req.Op))
 }
@@ -199,27 +247,46 @@ func (s *Server) handle(tx **sqldb.Txn, req Request) Response {
 // (Begin/Commit) are per-connection state, so concurrent users of one Client
 // must not interleave transactions — open one Client per worker instead.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	opTimeout time.Duration
 }
 
-// Dial connects to a DB server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a DB server with no per-operation timeout.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout connects to a DB server; opTimeout bounds the dial and each
+// subsequent request round trip (0 disables both).
+func DialTimeout(addr string, opTimeout time.Duration) (*Client, error) {
+	var conn net.Conn
+	var err error
+	if opTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, opTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dbproto: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), opTimeout: opTimeout}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// armOpDeadline starts the per-operation clock. Caller holds c.mu.
+func (c *Client) armOpDeadline() {
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
+}
+
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.armOpDeadline()
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, err
 	}
@@ -267,4 +334,25 @@ func (c *Client) Commit() error {
 func (c *Client) Rollback() error {
 	_, err := c.roundTrip(Request{Op: OpRollback})
 	return err
+}
+
+// Epoch returns the server database's recovery epoch. The epoch advances
+// exactly when an Open recovers from an unclean shutdown, so a cache tier
+// that sees it move knows trigger effects of discarded transactions may be
+// stranded in cache and must flush.
+func (c *Client) Epoch() (uint64, error) {
+	resp, err := c.roundTrip(Request{Op: OpEpoch})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Recovery returns what the server database's last Open found on disk.
+func (c *Client) Recovery() (sqldb.RecoveryInfo, error) {
+	resp, err := c.roundTrip(Request{Op: OpRecovery})
+	if err != nil {
+		return sqldb.RecoveryInfo{}, err
+	}
+	return resp.Recovery, nil
 }

@@ -10,7 +10,7 @@ import (
 
 func newPair(t *testing.T) (*sqldb.DB, *Client) {
 	t.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	srv := NewServer(db)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

@@ -79,8 +79,10 @@ func runFixture(t *testing.T, a *lint.Analyzer, pkg string) {
 	}
 }
 
-func TestHotPathAllocFixture(t *testing.T) { runFixture(t, lint.HotPathAlloc, "hotpath") }
-func TestLockScopeFixture(t *testing.T)    { runFixture(t, lint.LockScope, "lockscope") }
-func TestNetDeadlineFixture(t *testing.T)  { runFixture(t, lint.NetDeadline, "cacheproto") }
-func TestObsNamingFixture(t *testing.T)    { runFixture(t, lint.ObsNaming, "obsfix") }
-func TestNolintFixture(t *testing.T)       { runFixture(t, lint.HotPathAlloc, "nolintfix") }
+func TestHotPathAllocFixture(t *testing.T)   { runFixture(t, lint.HotPathAlloc, "hotpath") }
+func TestLockScopeFixture(t *testing.T)      { runFixture(t, lint.LockScope, "lockscope") }
+func TestNetDeadlineFixture(t *testing.T)    { runFixture(t, lint.NetDeadline, "cacheproto") }
+func TestNetDeadlineGobFixture(t *testing.T) { runFixture(t, lint.NetDeadline, "dbproto") }
+func TestObsNamingFixture(t *testing.T)      { runFixture(t, lint.ObsNaming, "obsfix") }
+func TestNolintFixture(t *testing.T)         { runFixture(t, lint.HotPathAlloc, "nolintfix") }
+func TestGoroLeakFixture(t *testing.T)       { runFixture(t, lint.GoroLeak, "goroleak") }

@@ -8,6 +8,9 @@
 //
 // Shipped analyzers (see cmd/genielint):
 //
+//   - goroleak: `go` statements must show how the goroutine stops — a
+//     WaitGroup Done, a channel receive/select/range, an Accept/Serve
+//     loop, or a send the spawner receives.
 //   - hotpathalloc: forbids allocating constructs in functions marked
 //     //genie:hotpath (the zero-allocation protocol paths).
 //   - lockscope: every Lock needs a same-function Unlock, and mutexes

@@ -7,8 +7,9 @@ import (
 )
 
 // NetDeadline enforces the PR 7 invariant in the wire-protocol packages
-// (cacheproto, loadctl): every raw network read or write — net.Conn
-// Read/Write, bufio.Reader/bufio.Writer methods, io.ReadFull — must be
+// (cacheproto, loadctl, dbproto): every raw network read or write —
+// net.Conn Read/Write, bufio.Reader/bufio.Writer methods, io.ReadFull,
+// gob.Encoder.Encode/gob.Decoder.Decode — must be
 // dominated, earlier in the same function, by a deadline arm: a direct
 // SetDeadline/SetReadDeadline/SetWriteDeadline, or a call to a helper whose
 // name mentions Deadline or OpTimeout (armDeadline, withOpTimeout).
@@ -30,6 +31,14 @@ var NetDeadline = &Analyzer{
 var netDeadlinePkgs = map[string]bool{
 	"cacheproto": true,
 	"loadctl":    true,
+	"dbproto":    true,
+}
+
+// gobMethodRecv are gob codec types whose Encode/Decode block on the
+// underlying connection — the wire I/O of the dbproto protocol.
+var gobMethodRecv = map[string]bool{
+	"gob.Encoder": true,
+	"gob.Decoder": true,
 }
 
 // ioMethodNames are bufio.Reader/bufio.Writer methods that move bytes to or
@@ -98,6 +107,8 @@ func checkDeadlineFunc(pass *Pass, fn *ast.FuncDecl) {
 			what = recvTypeName(pass.Info, call) + "." + name
 		case calleePkgPath(pass.Info, call) == "io" && name == "ReadFull":
 			what = "io.ReadFull"
+		case gobMethodRecv[recvTypeName(pass.Info, call)] && (name == "Encode" || name == "Decode"):
+			what = recvTypeName(pass.Info, call) + "." + name
 		default:
 			return true
 		}

@@ -1,0 +1,44 @@
+// Package dbproto exercises the netdeadline analyzer's gob codec coverage:
+// Encoder.Encode and Decoder.Decode move bytes over the connection and
+// need the same deadline discipline as raw reads and writes.
+package dbproto
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+type session struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (s *session) recvBad(v any) error {
+	return s.dec.Decode(v) // want `gob\.Decoder\.Decode without an earlier`
+}
+
+func (s *session) sendBad(v any) error {
+	return s.enc.Encode(v) // want `gob\.Encoder\.Encode without an earlier`
+}
+
+func (s *session) armDeadline() {
+	_ = s.conn.SetDeadline(time.Now().Add(time.Second))
+}
+
+func (s *session) roundTripGood(req, resp any) error {
+	s.armDeadline()
+	if err := s.enc.Encode(req); err != nil {
+		return err
+	}
+	return s.dec.Decode(resp)
+}
+
+// recvHelper performs I/O on behalf of callers that already armed the
+// per-request deadline.
+//
+//genie:deadlinearmed callers arm the per-request deadline before decoding
+func (s *session) recvHelper(v any) error {
+	return s.dec.Decode(v)
+}

@@ -9,7 +9,7 @@ import (
 
 func benchRegistry(b *testing.B) *Registry {
 	b.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := NewRegistry(db)
 	reg.MustRegister(&ModelDef{
 		Name:  "Profile",

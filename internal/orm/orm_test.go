@@ -10,7 +10,7 @@ import (
 
 func newTestRegistry(t *testing.T) *Registry {
 	t.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := NewRegistry(db)
 	reg.MustRegister(&ModelDef{
 		Name:  "User",

@@ -14,7 +14,7 @@ import (
 // newApp builds a seeded app; cached selects whether CacheGenie is wired in.
 func newApp(t testing.TB, cached bool, strategy core.Strategy) (*App, *sqldb.DB, *kvcache.Store) {
 	t.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	reg := orm.NewRegistry(db)
 	if err := RegisterModels(reg); err != nil {
 		t.Fatal(err)

@@ -7,7 +7,7 @@ import (
 
 func benchDB(b *testing.B, rows int) *DB {
 	b.Helper()
-	db := Open(Config{})
+	db := MustOpen(Config{})
 	mustExec(b, db, "CREATE TABLE bench (k INT NOT NULL, v TEXT)")
 	mustExec(b, db, "CREATE INDEX idx_bench_k ON bench (k)")
 	for i := 0; i < rows; i++ {
@@ -77,7 +77,7 @@ func BenchmarkEngineUpdateIndexed(b *testing.B) {
 }
 
 func BenchmarkEngineJoin(b *testing.B) {
-	db := Open(Config{})
+	db := MustOpen(Config{})
 	mustExec(b, db, "CREATE TABLE l (r_id INT NOT NULL)")
 	mustExec(b, db, "CREATE TABLE r (name TEXT)")
 	mustExec(b, db, "CREATE INDEX idx_l_r ON l (r_id)")

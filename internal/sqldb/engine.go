@@ -11,6 +11,7 @@ import (
 	"cachegenie/internal/latency"
 	"cachegenie/internal/sqlparse"
 	"cachegenie/internal/storage"
+	"cachegenie/internal/wal"
 )
 
 // TriggerOp identifies the mutating operation a trigger fires on.
@@ -111,6 +112,20 @@ type Config struct {
 	Sleeper latency.Sleeper
 	// LockTimeout bounds lock waits (default 5s).
 	LockTimeout time.Duration
+	// DataDir, when set, makes the database durable: committed
+	// transactions are redo-logged to a group-commit WAL under
+	// DataDir/wal, a clean Close snapshots the full state, and Open
+	// replays snapshot + log to the last complete commit record. Empty
+	// means the engine is memory-only (the pre-WAL behavior).
+	DataDir string
+	// WALSegmentBytes rotates WAL segments at this size (default 64 MiB).
+	WALSegmentBytes int64
+	// WALGroupMax caps commits coalesced into one fsync (default 128).
+	WALGroupMax int
+	// WALNoSync skips fsync on commit — crash durability is then only as
+	// good as the page cache. For tests and deliberate speed-over-safety
+	// runs.
+	WALNoSync bool
 }
 
 // DB is the database engine. It is safe for concurrent use.
@@ -130,6 +145,14 @@ type DB struct {
 	triggersEnabled atomic.Bool
 	nextTxn         atomic.Int64
 
+	// Durability state; all nil/zero when Config.DataDir is unset.
+	wal        *wal.Writer
+	walMetrics *wal.Metrics
+	dataDir    string
+	epoch      atomic.Uint64
+	recovery   RecoveryInfo
+	closed     atomic.Bool
+
 	statSelects  atomic.Int64
 	statInserts  atomic.Int64
 	statUpdates  atomic.Int64
@@ -142,8 +165,32 @@ type DB struct {
 // maxTriggerDepth bounds trigger-initiated writes re-firing triggers.
 const maxTriggerDepth = 4
 
-// Open creates a new empty database.
-func Open(cfg Config) *DB {
+// Open creates a database. With Config.DataDir unset it is a fresh,
+// memory-only engine and never fails; with DataDir set it recovers durable
+// state (snapshot load, WAL replay to the last complete commit, recovery-
+// epoch maintenance) before accepting traffic — see RecoveryInfo.
+func Open(cfg Config) (*DB, error) {
+	db := openMem(cfg)
+	if cfg.DataDir == "" {
+		return db, nil
+	}
+	if err := db.openDurable(cfg); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// MustOpen is Open for configurations that cannot fail — memory-only
+// engines in tests and benchmarks. It panics on error.
+func MustOpen(cfg Config) *DB {
+	db, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+func openMem(cfg Config) *DB {
 	if cfg.BufferPoolPages <= 0 {
 		cfg.BufferPoolPages = 4096
 	}

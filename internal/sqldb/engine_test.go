@@ -11,7 +11,7 @@ import (
 
 func newTestDB(t testing.TB) *DB {
 	t.Helper()
-	return Open(Config{})
+	return MustOpen(Config{})
 }
 
 func mustExec(t testing.TB, db *DB, sql string, args ...Value) Result {
@@ -327,7 +327,7 @@ func TestTxnRollbackRestoresIndexes(t *testing.T) {
 }
 
 func TestTxnIsolationWriteBlocksRead(t *testing.T) {
-	db := Open(Config{LockTimeout: 200 * time.Millisecond})
+	db := MustOpen(Config{LockTimeout: 200 * time.Millisecond})
 	setupWall(t, db)
 	mustExec(t, db, "INSERT INTO wall (user_id, content) VALUES (1, 'x')")
 

@@ -15,7 +15,7 @@ func (tx *Txn) execAST(st sqlparse.Statement, args ...Value) (Result, error) {
 	}
 	switch s := st.(type) {
 	case *sqlparse.CreateTable:
-		return Result{}, tx.db.createTable(s)
+		return Result{}, tx.createTable(s)
 	case *sqlparse.CreateIndex:
 		return Result{}, tx.createIndex(s)
 	case *sqlparse.Insert:
@@ -30,26 +30,37 @@ func (tx *Txn) execAST(st sqlparse.Statement, args ...Value) (Result, error) {
 	return Result{}, fmt.Errorf("sqldb: cannot execute %T", st)
 }
 
-func (db *DB) createTable(ct *sqlparse.CreateTable) error {
+func (db *DB) createTable(ct *sqlparse.CreateTable) (*Schema, error) {
 	schema, err := schemaFromAST(ct)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, exists := db.tables[schema.Table]; exists {
-		return fmt.Errorf("sqldb: table %q already exists", schema.Table)
+		return nil, fmt.Errorf("sqldb: table %q already exists", schema.Table)
 	}
 	db.tables[schema.Table] = newTable(schema, db.disk, db.pool)
-	return nil
+	return schema, nil
 }
 
-func (tx *Txn) createIndex(ci *sqlparse.CreateIndex) error {
-	t, err := tx.db.table(ci.Table)
+func (tx *Txn) createTable(ct *sqlparse.CreateTable) error {
+	schema, err := tx.db.createTable(ct)
 	if err != nil {
 		return err
 	}
-	if err := tx.lockTable(ci.Table, lockExclusive); err != nil {
+	// DDL is redo-logged as its canonical SQL text. (DDL is not undone by
+	// Rollback — it never was — so it is only safe in autocommit form,
+	// which is how every caller issues it.)
+	tx.redo = append(tx.redo, redoRec{typ: recDDL, sql: schema.String()})
+	return nil
+}
+
+// addIndexFromAST resolves and builds an index without locking; callers
+// are the locked transaction path and single-threaded recovery.
+func (db *DB) addIndexFromAST(ci *sqlparse.CreateIndex) error {
+	t, err := db.table(ci.Table)
+	if err != nil {
 		return err
 	}
 	cols := make([]int, len(ci.Columns))
@@ -66,6 +77,17 @@ func (tx *Txn) createIndex(ci *sqlparse.CreateIndex) error {
 		}
 	}
 	return t.addIndex(&Index{Name: ci.Name, Cols: cols, Unique: ci.Unique})
+}
+
+func (tx *Txn) createIndex(ci *sqlparse.CreateIndex) error {
+	if err := tx.lockTable(ci.Table, lockExclusive); err != nil {
+		return err
+	}
+	if err := tx.db.addIndexFromAST(ci); err != nil {
+		return err
+	}
+	tx.redo = append(tx.redo, redoRec{typ: recDDL, sql: createIndexSQL(ci)})
+	return nil
 }
 
 // coerce converts v to column type ct where a safe conversion exists.
@@ -719,6 +741,7 @@ func (tx *Txn) execInsert(ins *sqlparse.Insert, args []Value) (Result, error) {
 		return Result{}, err
 	}
 	tx.undo = append(tx.undo, undoRec{tbl: t, op: TrigInsert, new: stored})
+	tx.redo = append(tx.redo, redoRec{typ: recInsert, table: ins.Table, row: stored})
 	ev := TriggerEvent{Table: ins.Table, Op: TrigInsert, Schema: t.schema, New: stored}
 	if err := tx.db.fireTriggers(tx, ev); err != nil {
 		return Result{}, err
@@ -798,6 +821,7 @@ func (tx *Txn) execUpdate(up *sqlparse.Update, args []Value) (Result, error) {
 			return Result{}, err
 		}
 		tx.undo = append(tx.undo, undoRec{tbl: t, op: TrigUpdate, old: old, new: stored})
+		tx.redo = append(tx.redo, redoRec{typ: recUpdate, table: up.Table, row: stored})
 		ev := TriggerEvent{Table: up.Table, Op: TrigUpdate, Schema: t.schema, Old: old, New: stored}
 		if err := tx.db.fireTriggers(tx, ev); err != nil {
 			return Result{}, err
@@ -825,6 +849,7 @@ func (tx *Txn) execDelete(del *sqlparse.Delete, args []Value) (Result, error) {
 			return Result{}, err
 		}
 		tx.undo = append(tx.undo, undoRec{tbl: t, op: TrigDelete, old: old})
+		tx.redo = append(tx.redo, redoRec{typ: recDelete, table: del.Table, pk: old[t.schema.PKIndex].I})
 		ev := TriggerEvent{Table: del.Table, Op: TrigDelete, Schema: t.schema, Old: old}
 		if err := tx.db.fireTriggers(tx, ev); err != nil {
 			return Result{}, err

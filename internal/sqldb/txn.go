@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"cachegenie/internal/wal"
 )
 
 // ErrLockTimeout is returned when a lock cannot be acquired before the
@@ -119,6 +121,7 @@ type Txn struct {
 	id    int64
 	locks map[string]lockMode
 	undo  []undoRec
+	redo  []redoRec
 	done  bool
 	// depth guards against trigger recursion: triggers run inside a
 	// statement and may issue reads, but their writes do not re-fire
@@ -147,9 +150,26 @@ func (tx *Txn) lockTable(name string, mode lockMode) error {
 }
 
 // Commit makes the transaction's effects durable and releases its locks.
+// On a durable DB the redo records are appended to the WAL and the call
+// blocks until the group-commit writer has fsynced them; a durability
+// failure rolls the in-memory effects back so memory never diverges from
+// the log prefix.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
+	}
+	if w := tx.db.wal; w != nil && len(tx.redo) > 0 {
+		recs := make([]wal.Record, len(tx.redo))
+		for i, r := range tx.redo {
+			recs[i] = r.encode()
+		}
+		if err := w.Commit(tx.id, recs); err != nil {
+			rbErr := tx.Rollback()
+			if rbErr != nil {
+				return fmt.Errorf("sqldb: commit txn %d: %v (rollback also failed: %v)", tx.id, err, rbErr)
+			}
+			return fmt.Errorf("sqldb: commit txn %d: %w", tx.id, err)
+		}
 	}
 	tx.finish()
 	return nil
@@ -189,5 +209,6 @@ func (tx *Txn) finish() {
 	}
 	tx.locks = map[string]lockMode{}
 	tx.undo = nil
+	tx.redo = nil
 	tx.done = true
 }

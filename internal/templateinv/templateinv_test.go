@@ -9,7 +9,7 @@ import (
 
 func newConn(t *testing.T) (*Conn, *sqldb.DB, *kvcache.Store) {
 	t.Helper()
-	db := sqldb.Open(sqldb.Config{})
+	db := sqldb.MustOpen(sqldb.Config{})
 	if _, err := db.Exec("CREATE TABLE profiles (user_id INT NOT NULL, bio TEXT)"); err != nil {
 		t.Fatal(err)
 	}

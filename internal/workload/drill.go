@@ -1,0 +1,111 @@
+// Crash-drill schema: the tables, triggers and cache-key layout shared by
+// Experiment 12 (in-process and CI phases) and `geniedb -drill-schema`. The
+// triggers mirror every row write into the cache synchronously — the paper's
+// trigger-maintained consistency — which is exactly what makes a mid-write
+// SIGKILL interesting: trigger effects of an uncommitted transaction are
+// already visible in the cache when the database dies, and only the
+// recovery-epoch flush reconciles the two tiers.
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"cachegenie/internal/kvcache"
+	"cachegenie/internal/sqldb"
+)
+
+// DrillTables is the number of item tables the crash drill spreads writes
+// across. Writers on a single table serialize on its exclusive table lock,
+// so several tables are needed for concurrent committers to actually
+// coalesce in the WAL group-commit batch.
+const DrillTables = 4
+
+// DrillKeyPrefix namespaces the drill's cache keys.
+const DrillKeyPrefix = "drill:"
+
+// DrillTableName returns the i'th drill table name.
+func DrillTableName(i int) string { return fmt.Sprintf("items%d", i) }
+
+// DrillKey is the cache key mirroring one row: drill:<table>:<pk>.
+func DrillKey(table string, pk int64) string {
+	return fmt.Sprintf("%s%s:%d", DrillKeyPrefix, table, pk)
+}
+
+// ParseDrillKey inverts DrillKey; ok is false for foreign keys.
+func ParseDrillKey(key string) (table string, pk int64, ok bool) {
+	var i int
+	if n, err := fmt.Sscanf(key, DrillKeyPrefix+"items%d:%d", &i, &pk); err != nil || n != 2 {
+		return "", 0, false
+	}
+	return DrillTableName(i), pk, true
+}
+
+// InstallDrillSchema creates the drill tables on db (idempotent — existing
+// tables are kept, which is what a restart after a crash needs) and installs
+// cache-maintenance triggers: INSERT/UPDATE set drill:<table>:<pk> to the
+// row's val column, DELETE removes it.
+func InstallDrillSchema(db *sqldb.DB, cache kvcache.Cache) error {
+	for i := 0; i < DrillTables; i++ {
+		name := DrillTableName(i)
+		if _, err := db.Schema(name); err != nil {
+			if _, err := db.Exec(fmt.Sprintf("CREATE TABLE %s (val TEXT)", name)); err != nil {
+				return fmt.Errorf("workload: create drill table %s: %w", name, err)
+			}
+		}
+		set := func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+			pk := ev.New[ev.Schema.PKIndex].I
+			val := ev.New[ev.Schema.ColIndex("val")].S
+			cache.Set(DrillKey(ev.Table, pk), []byte(val), 0)
+			return nil
+		}
+		del := func(q sqldb.Queryer, ev sqldb.TriggerEvent) error {
+			cache.Delete(DrillKey(ev.Table, ev.Old[ev.Schema.PKIndex].I))
+			return nil
+		}
+		for _, tr := range []sqldb.Trigger{
+			{Name: "drill_ins", Table: name, Op: sqldb.TrigInsert, Fn: set},
+			{Name: "drill_upd", Table: name, Op: sqldb.TrigUpdate, Fn: set},
+			{Name: "drill_del", Table: name, Op: sqldb.TrigDelete, Fn: del},
+		} {
+			db.DropTrigger(tr.Table, tr.Name)
+			if err := db.CreateTrigger(tr); err != nil {
+				return fmt.Errorf("workload: trigger %s on %s: %w", tr.Name, tr.Table, err)
+			}
+		}
+	}
+	return nil
+}
+
+// EpochGuard is the workload stack's reaction to a database crash recovery:
+// it remembers the last recovery epoch it has seen and, when the epoch
+// advances (the database came back from an unclean shutdown and may have
+// discarded uncommitted work whose trigger effects already reached the
+// cache), flushes the whole cache tier so it repopulates from the recovered
+// database.
+type EpochGuard struct {
+	mu    sync.Mutex
+	last  uint64
+	flush func()
+}
+
+// NewEpochGuard starts tracking from epoch initial; flush is invoked (once
+// per advance) when the observed epoch moves past it.
+func NewEpochGuard(initial uint64, flush func()) *EpochGuard {
+	return &EpochGuard{last: initial, flush: flush}
+}
+
+// Observe reports the current epoch; returns true if it advanced and the
+// flush was triggered.
+func (g *EpochGuard) Observe(epoch uint64) bool {
+	g.mu.Lock()
+	advanced := epoch > g.last
+	if advanced {
+		g.last = epoch
+	}
+	g.mu.Unlock()
+	if advanced {
+		g.flush()
+	}
+	return advanced
+}

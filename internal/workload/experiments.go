@@ -139,7 +139,10 @@ type MicroLookupResult struct {
 // MicroLookup reproduces the §5.3 lookup microbenchmark.
 func MicroLookup(opt ExpOptions) (MicroLookupResult, error) {
 	model := latency.PaperScaled(opt.scale())
-	db := sqldb.Open(sqldb.Config{Latency: model, BufferPoolPages: 1024})
+	db, err := sqldb.Open(sqldb.Config{Latency: model, BufferPoolPages: 1024})
+	if err != nil {
+		return MicroLookupResult{}, err
+	}
 	if _, err := db.Exec("CREATE TABLE kv (k INT NOT NULL, v TEXT)"); err != nil {
 		return MicroLookupResult{}, err
 	}
@@ -193,8 +196,11 @@ type MicroTriggerResult struct {
 func MicroTrigger(opt ExpOptions) (MicroTriggerResult, error) {
 	model := latency.PaperScaled(opt.scale())
 	mk := func() (*sqldb.DB, error) {
-		db := sqldb.Open(sqldb.Config{Latency: model, BufferPoolPages: 1024})
-		_, err := db.Exec("CREATE TABLE t (v TEXT)")
+		db, err := sqldb.Open(sqldb.Config{Latency: model, BufferPoolPages: 1024})
+		if err != nil {
+			return nil, err
+		}
+		_, err = db.Exec("CREATE TABLE t (v TEXT)")
 		return db, err
 	}
 	timeInserts := func(db *sqldb.DB) (time.Duration, error) {
@@ -791,10 +797,13 @@ func AblationTemplateInvalidation(opt ExpOptions) (AblationTemplateResult, error
 	// Baseline: same engine + app, reads cached by exact query text with
 	// template-wide invalidation, no CacheGenie.
 	model := latency.PaperScaled(opt.scale())
-	db := sqldb.Open(sqldb.Config{
+	db, err := sqldb.Open(sqldb.Config{
 		BufferPoolPages: expPoolPages, DiskWidth: 2, Latency: model,
 		LockTimeout: 10 * time.Second,
 	})
+	if err != nil {
+		return res, err
+	}
 	tcache := kvcache.New(0)
 	var logical kvcache.Cache = tcache
 	if model.CacheRoundTrip > 0 {

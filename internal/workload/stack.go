@@ -218,13 +218,16 @@ func BuildStack(cfg StackConfig) (*Stack, error) {
 	if cfg.LatencyScale > 0 {
 		model = latency.PaperScaled(cfg.LatencyScale)
 	}
-	db := sqldb.Open(sqldb.Config{
+	db, err := sqldb.Open(sqldb.Config{
 		BufferPoolPages: cfg.BufferPoolPages,
 		DiskWidth:       cfg.DiskWidth,
 		Latency:         model,
 		Sleeper:         sleeper,
 		LockTimeout:     10 * time.Second,
 	})
+	if err != nil {
+		return nil, err
+	}
 	reg := orm.NewRegistry(db)
 	if err := social.RegisterModels(reg); err != nil {
 		return nil, err
