@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cachegenie/internal/hotkey"
+	"cachegenie/internal/kvcache"
+)
+
+// countingNode counts Gets so the tests can see where reads actually land.
+type countingNode struct {
+	kvcache.Cache
+	gets atomic.Int64
+}
+
+func (c *countingNode) Get(key string) ([]byte, bool) {
+	c.gets.Add(1)
+	return c.Cache.Get(key)
+}
+
+func newHotRing(t *testing.T, n, replicas int, cfg hotkey.Config) (*Ring, []*countingNode) {
+	t.Helper()
+	counted := make([]*countingNode, n)
+	nodes := make([]kvcache.Cache, n)
+	for i := range nodes {
+		counted[i] = &countingNode{Cache: kvcache.New(0)}
+		nodes[i] = counted[i]
+	}
+	r, err := NewRing(nodes, WithReplicas(replicas), WithHotKeySpreading(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, counted
+}
+
+// TestHotReadSpreading: once a key crosses the hot threshold its reads
+// rotate over the full replica set instead of hammering the preferred
+// replica, and the stats show the spreading.
+func TestHotReadSpreading(t *testing.T) {
+	const reads = 2000
+	r, counted := newHotRing(t, 4, 2, hotkey.Config{Window: 1 << 20, Threshold: 64})
+	key := "celebrity:bookmarks"
+	r.Set(key, []byte("v"), 0)
+	set := r.ReplicasFor(key)
+	if len(set) != 2 {
+		t.Fatalf("ReplicasFor = %v, want 2 replicas", set)
+	}
+	baseline := make([]int64, len(counted))
+	for i, c := range counted {
+		baseline[i] = c.gets.Load()
+	}
+	for i := 0; i < reads; i++ {
+		if v, ok := r.Get(key); !ok || string(v) != "v" {
+			t.Fatalf("read %d: got %q/%v, want v/true", i, v, ok)
+		}
+	}
+	onPref := counted[set[0]].gets.Load() - baseline[set[0]]
+	onSecond := counted[set[1]].gets.Load() - baseline[set[1]]
+	if onPref+onSecond < reads {
+		t.Fatalf("replica set served %d+%d of %d reads", onPref, onSecond, reads)
+	}
+	// Pre-threshold reads all land preferred; after that the rotation
+	// should split roughly evenly. Require the second replica to carry at
+	// least a third — far above the zero it gets preferred-first.
+	if onSecond < reads/3 {
+		t.Fatalf("second replica served %d of %d reads; spreading not engaged (preferred %d)", onSecond, reads, onPref)
+	}
+	st := r.HotKeyStats()
+	if st.Observed < reads {
+		t.Fatalf("Observed = %d, want >= %d", st.Observed, reads)
+	}
+	if st.SpreadReads == 0 || st.Flagged == 0 {
+		t.Fatalf("SpreadReads = %d, Flagged = %d, want both > 0", st.SpreadReads, st.Flagged)
+	}
+	// Non-replica nodes saw none of this key's reads.
+	for i, c := range counted {
+		if i == set[0] || i == set[1] {
+			continue
+		}
+		if got := c.gets.Load() - baseline[i]; got != 0 {
+			t.Fatalf("non-replica node %d served %d reads", i, got)
+		}
+	}
+}
+
+// TestColdKeysKeepPreferredRouting: below the threshold reads stay
+// preferred-first, so CAS-coherence-sensitive traffic is untouched.
+func TestColdKeysKeepPreferredRouting(t *testing.T) {
+	r, counted := newHotRing(t, 4, 2, hotkey.Config{Window: 1 << 20, Threshold: 1 << 20})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		r.Set(key, []byte("v"), 0)
+		set := r.ReplicasFor(key)
+		before := counted[set[1]].gets.Load()
+		if _, ok := r.Get(key); !ok {
+			t.Fatalf("miss on %s", key)
+		}
+		if got := counted[set[1]].gets.Load() - before; got != 0 {
+			t.Fatalf("cold key %s read the non-preferred replica %d times", key, got)
+		}
+	}
+	if st := r.HotKeyStats(); st.SpreadReads != 0 {
+		t.Fatalf("SpreadReads = %d for all-cold traffic, want 0", st.SpreadReads)
+	}
+}
+
+// TestSpreadReadRepairsMissingReplica: a rotated read that falls through a
+// replica missing the hot value repairs it, so the spread capacity heals
+// instead of half the rotated reads degrading to fall-throughs.
+func TestSpreadReadRepairsMissingReplica(t *testing.T) {
+	r, _ := newHotRing(t, 4, 2, hotkey.Config{Window: 1 << 20, Threshold: 16})
+	key := "celebrity:bookmarks"
+	r.Set(key, []byte("v"), 0)
+	set := r.ReplicasFor(key)
+	// Make it hot first, then knock the value out of one replica only.
+	for i := 0; i < 64; i++ {
+		r.Get(key)
+	}
+	r.nodes[set[1]].(*countingNode).Cache.Delete(key)
+	for i := 0; i < 8; i++ {
+		if _, ok := r.Get(key); !ok {
+			t.Fatalf("hot read missed with one replica still holding the value")
+		}
+	}
+	if _, ok := r.nodes[set[1]].(*countingNode).Cache.(*kvcache.Store).Get(key); !ok {
+		t.Fatalf("missing replica was not repaired by rotated reads")
+	}
+	if st := r.HotKeyStats(); st.SpreadRepairs == 0 {
+		t.Fatalf("SpreadRepairs = 0 after repairing a knocked-out replica")
+	}
+}
+
+// TestHotSpreadingSurvivesRebuild: Manager membership changes must carry
+// the sampler and its counters into the rebuilt ring.
+func TestHotSpreadingSurvivesRebuild(t *testing.T) {
+	nodes := make([]kvcache.Cache, 3)
+	ids := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = kvcache.New(0)
+		ids[i] = fmt.Sprintf("n%d", i)
+	}
+	m, err := NewManager(ids, nodes, WithReplicas(2), WithHotKeySpreading(hotkey.Config{Window: 1 << 20, Threshold: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "hot"
+	m.Set(key, []byte("v"), 0)
+	for i := 0; i < 64; i++ {
+		m.Get(key)
+	}
+	before := m.HotKeyStats()
+	if before.Observed == 0 || before.Flagged == 0 {
+		t.Fatalf("sampler idle before rebuild: %+v", before)
+	}
+	if err := m.AddNode("n3", kvcache.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	after := m.HotKeyStats()
+	if after.Observed < before.Observed || after.Flagged < before.Flagged {
+		t.Fatalf("hot-key counters went backwards across rebuild: %+v -> %+v", before, after)
+	}
+	m.Set(key, []byte("v"), 0)
+	for i := 0; i < 64; i++ {
+		if _, ok := m.Get(key); !ok {
+			t.Fatalf("hot read missed after rebuild")
+		}
+	}
+	if final := m.HotKeyStats(); final.Observed <= after.Observed {
+		t.Fatalf("sampler stopped observing after rebuild: %+v", final)
+	}
+}
+
+// TestHotSpreadingConcurrent is the -race drill over the rotated read
+// path: concurrent hot reads, writes and a membership change.
+func TestHotSpreadingConcurrent(t *testing.T) {
+	nodes := make([]kvcache.Cache, 4)
+	ids := make([]string, 4)
+	for i := range nodes {
+		nodes[i] = kvcache.New(0)
+		ids[i] = fmt.Sprintf("n%d", i)
+	}
+	m, err := NewManager(ids, nodes, WithReplicas(2), WithHotKeySpreading(hotkey.Config{Window: 2048, Threshold: 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "hot"
+	m.Set(key, []byte("v"), 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				switch {
+				case i%64 == 0:
+					m.Set(key, []byte("v"), 0)
+				default:
+					m.Get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := m.RemoveNode("n3"); err != nil {
+			t.Error(err)
+		}
+		if err := m.AddNode("n3", kvcache.New(0)); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+}

@@ -51,6 +51,15 @@ type Config struct {
 	// (0 = the bus default, 1ms). Only meaningful with AsyncInvalidation.
 	BatchWindow time.Duration
 
+	// SingleFlight coalesces concurrent cache-miss loads of the same key
+	// into one database query: the first miss runs the query, every
+	// concurrent miss of that key waits for it and shares the result. A
+	// flash crowd stampeding one invalidated page then costs the database
+	// ~1 query per hot key per miss window instead of one per request.
+	// Waiters receive the leader's row slices and must treat them as
+	// read-only (the same contract cache hits already carry).
+	SingleFlight bool
+
 	// DefaultTTL bounds the lifetime of all cached entries (0 = none).
 	DefaultTTL time.Duration
 	// Disabled creates the Genie without intercepting reads or installing
@@ -68,6 +77,8 @@ type Stats struct {
 	Recomputes      int64 // top-K reserve exhausted, full recompute
 	CasRetries      int64 // CAS conflicts retried
 	PopulateRefused int64 // Add lost to a concurrent populate
+	FlightLeads     int64 // misses that ran the database load (single-flight leader)
+	FlightShared    int64 // misses that waited on a concurrent load and shared its result
 }
 
 // Genie is the CacheGenie middleware instance.
@@ -80,6 +91,9 @@ type Genie struct {
 	// bus is non-nil in async mode; triggers and repopulation publish to it
 	// instead of issuing per-op cache round trips.
 	bus *invbus.Bus
+	// flights is non-nil with Config.SingleFlight; miss loads coalesce
+	// through it.
+	flights *flightGroup
 
 	mu      sync.Mutex
 	objects map[string]*CachedObject
@@ -95,6 +109,8 @@ type Genie struct {
 	recomputes      atomic.Int64
 	casRetries      atomic.Int64
 	populateRefused atomic.Int64
+	flightLeads     atomic.Int64
+	flightShared    atomic.Int64
 }
 
 // New creates a Genie and installs it as the registry's read interceptor
@@ -114,6 +130,9 @@ func New(cfg Config) (*Genie, error) {
 		cfg:     cfg,
 		objects: make(map[string]*CachedObject),
 		byModel: make(map[string][]*CachedObject),
+	}
+	if cfg.SingleFlight {
+		g.flights = newFlightGroup()
 	}
 	if cfg.AsyncInvalidation && !cfg.Disabled {
 		connect := cfg.TriggerConnectCost
@@ -171,6 +190,8 @@ func (g *Genie) Stats() Stats {
 		Recomputes:      g.recomputes.Load(),
 		CasRetries:      g.casRetries.Load(),
 		PopulateRefused: g.populateRefused.Load(),
+		FlightLeads:     g.flightLeads.Load(),
+		FlightShared:    g.flightShared.Load(),
 	}
 }
 
@@ -232,6 +253,22 @@ func (g *Genie) populate(key string, enc []byte, ttl time.Duration) {
 	if !g.cache.Add(key, enc, ttl) {
 		g.populateRefused.Add(1)
 	}
+}
+
+// flightDo runs a miss load, coalescing it through the single-flight group
+// when one is configured (Config.SingleFlight) and directly otherwise, and
+// keeps the lead/shared accounting.
+func (g *Genie) flightDo(key string, fn func() (any, error)) (any, error) {
+	if g.flights == nil {
+		return fn()
+	}
+	v, shared, err := g.flights.do(key, fn)
+	if shared {
+		g.flightShared.Add(1)
+	} else {
+		g.flightLeads.Add(1)
+	}
+	return v, err
 }
 
 // dropKey removes a corrupt or unparseable entry, via the bus when async.
@@ -428,12 +465,19 @@ func (co *CachedObject) Rows(vals ...sqldb.Value) ([]sqldb.Row, error) {
 		co.g.dropKey(key)
 	}
 	co.g.misses.Add(1)
-	rows, exhaustive, err := co.fetchFromDB(co.g.reg.Conn(), vals)
+	v, err := co.g.flightDo(key, func() (any, error) {
+		rows, exhaustive, err := co.fetchFromDB(co.g.reg.Conn(), vals)
+		if err != nil {
+			return nil, err
+		}
+		enc := encodePayload(payload{exhaustive: exhaustive, rows: rows})
+		co.g.populate(key, enc, co.ttl())
+		return rows, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	enc := encodePayload(payload{exhaustive: exhaustive, rows: rows})
-	co.g.populate(key, enc, co.ttl())
+	rows := v.([]sqldb.Row)
 	if co.spec.Class == TopKQuery && len(rows) > co.spec.K {
 		rows = rows[:co.spec.K]
 	}
@@ -454,15 +498,21 @@ func (co *CachedObject) Count(vals ...sqldb.Value) (int64, error) {
 		co.g.dropKey(key)
 	}
 	co.g.misses.Add(1)
-	args := make([]sqldb.Value, len(vals))
-	copy(args, vals)
-	rs, err := co.g.reg.Conn().Query(co.sql, args...)
+	v, err := co.g.flightDo(key, func() (any, error) {
+		args := make([]sqldb.Value, len(vals))
+		copy(args, vals)
+		rs, err := co.g.reg.Conn().Query(co.sql, args...)
+		if err != nil {
+			return nil, err
+		}
+		n := rs.Rows[0][0].I
+		co.g.populate(key, []byte(fmt.Sprintf("%d", n)), co.ttl())
+		return n, nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	n := rs.Rows[0][0].I
-	co.g.populate(key, []byte(fmt.Sprintf("%d", n)), co.ttl())
-	return n, nil
+	return v.(int64), nil
 }
 
 // fetchFromDB runs the query template over q.

@@ -25,5 +25,11 @@ func (g *Genie) RegisterMetrics(reg *obs.Registry, labels string) {
 		"CAS conflicts retried", g.casRetries.Load)
 	reg.CounterFunc("cachegenie_genie_populate_refused_total", labels,
 		"populates that lost to a concurrent Add", g.populateRefused.Load)
+	if g.flights != nil {
+		reg.CounterFunc("cachegenie_singleflight_leads_total", labels,
+			"miss loads that ran the database query", g.flightLeads.Load)
+		reg.CounterFunc("cachegenie_singleflight_shared_total", labels,
+			"miss loads coalesced onto a concurrent leader's query", g.flightShared.Load)
+	}
 	g.bus.RegisterMetrics(reg, labels)
 }

@@ -1,0 +1,54 @@
+package core
+
+import "sync"
+
+// flightGroup coalesces concurrent cache-miss loads of the same key into a
+// single database query: the first goroutine to miss becomes the leader and
+// runs the load; every goroutine that misses the same key while the load is
+// in flight parks on the leader's call and shares its result (value or
+// error). A flash crowd stampeding one evicted page then costs the database
+// exactly one query per hot key per miss window instead of one per request
+// — the read storm the paper's trigger-maintained cache otherwise forwards
+// straight to the weakest tier.
+//
+// Scoped per key and per miss: once the leader finishes, the call is
+// forgotten and the next miss starts a fresh one, so a key that keeps
+// missing (a write-heavy key whose trigger keeps invalidating it) still
+// converges on fresh values instead of pinning one stale load forever.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn for key, unless a call for key is already in flight, in which
+// case it waits for that call and returns its result. shared reports
+// whether the result came from another goroutine's load — waiters must
+// treat a shared value as read-only.
+func (f *flightGroup) do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

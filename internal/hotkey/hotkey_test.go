@@ -1,0 +1,164 @@
+package hotkey
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHotKeyFlagged(t *testing.T) {
+	d := New(Config{Window: 1 << 20, Threshold: 64})
+	hotHash := Hash("celebrity:bookmarks")
+	// Background traffic: many distinct keys, each observed a few times —
+	// none should cross the threshold.
+	for i := 0; i < 2000; i++ {
+		h := Hash(fmt.Sprintf("user:%d", i))
+		for j := 0; j < 4; j++ {
+			d.Observe(h)
+		}
+	}
+	if d.Hot(hotHash) {
+		t.Fatalf("key flagged hot before any traffic (estimate %d)", d.Estimate(hotHash))
+	}
+	var hot bool
+	for i := 0; i < 200; i++ {
+		hot = d.Observe(hotHash)
+	}
+	if !hot {
+		t.Fatalf("key not flagged after 200 observations at threshold 64 (estimate %d)", d.Estimate(hotHash))
+	}
+	st := d.Stats()
+	if st.Observed != 2000*4+200 {
+		t.Fatalf("Observed = %d, want %d", st.Observed, 2000*4+200)
+	}
+	if st.Flagged == 0 || st.Flagged > 200 {
+		t.Fatalf("Flagged = %d, want in (0, 200]", st.Flagged)
+	}
+}
+
+func TestColdKeysStayCold(t *testing.T) {
+	d := New(Config{Window: 1 << 20, Threshold: 256})
+	// Uniform traffic over many keys: with 4096 cells and 8k distinct keys
+	// observed 8 times each, no estimate should approach 256.
+	flagged := 0
+	for i := 0; i < 8192; i++ {
+		h := Hash(fmt.Sprintf("key:%d", i))
+		for j := 0; j < 8; j++ {
+			if d.Observe(h) {
+				flagged++
+			}
+		}
+	}
+	if flagged != 0 {
+		t.Fatalf("%d uniform observations flagged hot; sketch far too collision-prone", flagged)
+	}
+}
+
+func TestDecayCoolsOff(t *testing.T) {
+	d := New(Config{Window: 1 << 20, Threshold: 64})
+	h := Hash("flash:page")
+	for i := 0; i < 256; i++ {
+		d.Observe(h)
+	}
+	if !d.Hot(h) {
+		t.Fatalf("key not hot after 256 observations (estimate %d)", d.Estimate(h))
+	}
+	// Three halvings: 256 -> 128 -> 64 -> 32, below threshold.
+	d.Decay()
+	d.Decay()
+	d.Decay()
+	if d.Hot(h) {
+		t.Fatalf("key still hot after three decay sweeps (estimate %d)", d.Estimate(h))
+	}
+	if got := d.Stats().Decays; got != 3 {
+		t.Fatalf("Decays = %d, want 3", got)
+	}
+}
+
+func TestWindowTriggersDecay(t *testing.T) {
+	d := New(Config{Window: 512, Threshold: 64})
+	h := Hash("k")
+	for i := 0; i < 2048; i++ {
+		d.Observe(h)
+	}
+	if got := d.Stats().Decays; got < 3 {
+		t.Fatalf("Decays = %d after 4 windows of observations, want >= 3", got)
+	}
+	// The key received every observation; decay must not have erased it.
+	if !d.Hot(h) {
+		t.Fatalf("persistently hot key lost across decays (estimate %d)", d.Estimate(h))
+	}
+}
+
+// TestConcurrentObserveDecay is the -race drill: hammering Observe from
+// many goroutines while another forces decay sweeps must be data-race
+// free and keep the counters coherent.
+func TestConcurrentObserveDecay(t *testing.T) {
+	d := New(Config{Window: 1024, Threshold: 32})
+	const goroutines = 8
+	const perG = 4096
+	stop := make(chan struct{})
+	var decayer sync.WaitGroup
+	decayer.Add(1)
+	go func() {
+		defer decayer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.Decay()
+			}
+		}
+	}()
+	var observers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		observers.Add(1)
+		go func(g int) {
+			defer observers.Done()
+			hot := Hash("hot-key")
+			for i := 0; i < perG; i++ {
+				if i%4 == 0 {
+					d.Observe(hot)
+				} else {
+					d.Observe(Hash(fmt.Sprintf("key:%d:%d", g, i)))
+				}
+			}
+		}(g)
+	}
+	observers.Wait()
+	close(stop)
+	decayer.Wait()
+	st := d.Stats()
+	if st.Observed != goroutines*perG {
+		t.Fatalf("Observed = %d, want %d", st.Observed, goroutines*perG)
+	}
+}
+
+func TestEstimateSaturates(t *testing.T) {
+	d := New(Config{Window: 1 << 62, Threshold: 8})
+	h := Hash("k")
+	for i := 0; i < 100; i++ {
+		d.Observe(h)
+	}
+	if est := d.Estimate(h); est < 100 {
+		t.Fatalf("Estimate = %d, want >= 100 (count-min never undercounts)", est)
+	}
+}
+
+func BenchmarkHotKeyObserve(b *testing.B) {
+	d := New(Config{})
+	h := Hash("celebrity:bookmarks")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(h + uint64(i&1023))
+	}
+}
+
+func BenchmarkHotKeyHash(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash("genie:social:LookupBM:12345")
+	}
+}

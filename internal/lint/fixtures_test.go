@@ -84,5 +84,8 @@ func TestLockScopeFixture(t *testing.T)      { runFixture(t, lint.LockScope, "lo
 func TestNetDeadlineFixture(t *testing.T)    { runFixture(t, lint.NetDeadline, "cacheproto") }
 func TestNetDeadlineGobFixture(t *testing.T) { runFixture(t, lint.NetDeadline, "dbproto") }
 func TestObsNamingFixture(t *testing.T)      { runFixture(t, lint.ObsNaming, "obsfix") }
-func TestNolintFixture(t *testing.T)         { runFixture(t, lint.HotPathAlloc, "nolintfix") }
-func TestGoroLeakFixture(t *testing.T)       { runFixture(t, lint.GoroLeak, "goroleak") }
+func TestLabelCardinalityFixture(t *testing.T) {
+	runFixture(t, lint.LabelCardinality, "labelcard")
+}
+func TestNolintFixture(t *testing.T)   { runFixture(t, lint.HotPathAlloc, "nolintfix") }
+func TestGoroLeakFixture(t *testing.T) { runFixture(t, lint.GoroLeak, "goroleak") }

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LabelCardinality proves — best-effort, the obsnaming stance — that no
+// obs.Registry registration site is reachable with an unbounded label
+// *value*. ObsNaming bounds the label key vocabulary; this analyzer bounds
+// what flows into the values, because a per-key or per-payload value under
+// an allowed key ("op" stamped with the cache key, say) explodes series
+// cardinality just as surely as a rogue key does.
+//
+// Every non-constant expression interpolated into the labels argument is
+// traced to its sources:
+//
+//   - bounded: compile-time constants, anything integer- or bool-typed
+//     (node indices, shard and worker counts — finite by configuration),
+//     indexing into constant composite literals, strconv/fmt over bounded
+//     operands, in-package helpers and methods whose returns are bounded,
+//     and parameters every visible in-package call site feeds bounded
+//     arguments;
+//   - unbounded: string(...) conversions of byte/rune slices (wire keys,
+//     payloads — request-sized data), and anything that reaches one through
+//     helpers, locals, or call-site arguments;
+//   - everything else (foreign calls, cross-package parameters) is the
+//     caller's documented contract and is left alone.
+//
+// Only provably unbounded flows are reported.
+var LabelCardinality = &Analyzer{
+	Name: "labelcardinality",
+	Doc:  "label values at metric registration sites must trace to bounded sources",
+	Run:  runLabelCardinality,
+}
+
+func runLabelCardinality(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := registryMethods[calleeName(call)]; !ok ||
+				recvTypeName(pass.Info, call) != "obs.Registry" || len(call.Args) < 2 {
+				return true
+			}
+			tr := &valueTracer{pass: pass, seen: map[types.Object]bool{}}
+			if bnd, why := tr.trace(call.Args[1], 0); bnd == bndUnbounded {
+				pass.Reportf(call.Args[1].Pos(),
+					"unbounded label value: %s; every distinct value is a new series, so label values must trace to bounded sources (constants, indices, node identity)", why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type boundedness int
+
+const (
+	bndBounded boundedness = iota
+	bndUnknown             // untraceable: deferred to the caller's contract
+	bndUnbounded
+)
+
+func joinBnd(a, b boundedness, aWhy, bWhy string) (boundedness, string) {
+	if b > a {
+		return b, bWhy
+	}
+	return a, aWhy
+}
+
+// valueTracer walks label-value dataflow. seen breaks reference cycles
+// through parameters and locals; maxTraceDepth caps helper/call-site
+// recursion the same way obsnaming's fragment tracing does.
+type valueTracer struct {
+	pass *Pass
+	seen map[types.Object]bool
+}
+
+const maxTraceDepth = 4
+
+func (t *valueTracer) trace(e ast.Expr, depth int) (boundedness, string) {
+	if e == nil || depth > maxTraceDepth {
+		return bndUnknown, ""
+	}
+	if tv, ok := t.pass.Info.Types[e]; ok {
+		if tv.Value != nil {
+			return bndBounded, ""
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok &&
+			b.Info()&(types.IsInteger|types.IsBoolean) != 0 {
+			return bndBounded, ""
+		}
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.trace(e.X, depth)
+	case *ast.BinaryExpr:
+		xb, xw := t.trace(e.X, depth)
+		yb, yw := t.trace(e.Y, depth)
+		return joinBnd(xb, yb, xw, yw)
+	case *ast.CompositeLit:
+		bnd, why := bndBounded, ""
+		for _, el := range e.Elts {
+			eb, ew := t.trace(el, depth)
+			bnd, why = joinBnd(bnd, eb, why, ew)
+		}
+		return bnd, why
+	case *ast.IndexExpr:
+		// Indexing yields an element of the indexed collection; the index
+		// itself cannot widen the value set.
+		return t.trace(e.X, depth)
+	case *ast.CallExpr:
+		return t.traceCall(e, depth)
+	case *ast.Ident:
+		return t.traceIdent(e, depth)
+	}
+	return bndUnknown, ""
+}
+
+func (t *valueTracer) traceCall(call *ast.CallExpr, depth int) (boundedness, string) {
+	// Type conversion: string(x) over a byte/rune slice is the flagship
+	// leak — it is how request-sized data (wire keys, payloads) becomes a
+	// string. Other conversions trace their operand.
+	if tv, ok := t.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if at, ok := t.pass.Info.Types[call.Args[0]]; ok && at.Type != nil {
+			if _, isSlice := at.Type.Underlying().(*types.Slice); isSlice {
+				return bndUnbounded, "string(" + exprText(call.Args[0]) + ") converts request-sized data"
+			}
+		}
+		return t.trace(call.Args[0], depth)
+	}
+	switch calleePkgPath(t.pass.Info, call) {
+	case "fmt", "strconv":
+		// Formatting never widens the value set beyond its operands.
+		bnd, why := bndBounded, ""
+		for _, a := range call.Args {
+			ab, aw := t.trace(a, depth)
+			bnd, why = joinBnd(bnd, ab, why, aw)
+		}
+		return bnd, why
+	}
+	// In-package helper or method: its returns are the value.
+	if fd := t.calleeDecl(call); fd != nil && fd.Body != nil {
+		bnd, why := bndBounded, ""
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			found = true
+			for _, r := range ret.Results {
+				rb, rw := t.trace(r, depth+1)
+				bnd, why = joinBnd(bnd, rb, why, rw)
+			}
+			return true
+		})
+		if !found {
+			return bndUnknown, ""
+		}
+		if why == "" {
+			why = "helper " + fd.Name.Name + " returns an unbounded value"
+		}
+		return bnd, why
+	}
+	return bndUnknown, ""
+}
+
+func (t *valueTracer) traceIdent(id *ast.Ident, depth int) (boundedness, string) {
+	obj := t.pass.Info.Uses[id]
+	if obj == nil || t.seen[obj] {
+		return bndUnknown, ""
+	}
+	t.seen[obj] = true
+	defer delete(t.seen, obj)
+
+	if fd, idx := t.paramOwner(obj); fd != nil {
+		return t.traceParam(fd, idx, id.Name, depth)
+	}
+	// Local variable: as bounded as everything ever assigned to it
+	// (including its declaration).
+	bnd, why := bndBounded, ""
+	found := false
+	for _, f := range t.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					l, ok := lhs.(*ast.Ident)
+					if !ok || i >= len(n.Rhs) {
+						continue
+					}
+					if t.pass.Info.Defs[l] == obj || t.pass.Info.Uses[l] == obj {
+						found = true
+						ab, aw := t.trace(n.Rhs[i], depth+1)
+						bnd, why = joinBnd(bnd, ab, why, aw)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if t.pass.Info.Defs[name] == obj && i < len(n.Values) {
+						found = true
+						vb, vw := t.trace(n.Values[i], depth+1)
+						bnd, why = joinBnd(bnd, vb, why, vw)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !found {
+		return bndUnknown, ""
+	}
+	return bnd, why
+}
+
+// traceParam resolves a function parameter through every visible in-package
+// call site: the parameter is reachable with whatever its callers pass. No
+// visible call sites means the boundedness is the (cross-package) caller's
+// contract — deferred.
+func (t *valueTracer) traceParam(fd *ast.FuncDecl, idx int, name string, depth int) (boundedness, string) {
+	fobj := t.pass.Info.Defs[fd.Name]
+	if fobj == nil {
+		return bndUnknown, ""
+	}
+	bnd, why := bndBounded, ""
+	found := false
+	for _, f := range t.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeObj(t.pass.Info, call) != fobj || idx >= len(call.Args) {
+				return true
+			}
+			found = true
+			ab, aw := t.trace(call.Args[idx], depth+1)
+			if aw == "" && ab == bndUnbounded {
+				aw = "a call site passes an unbounded value"
+			}
+			if ab == bndUnbounded && aw != "" {
+				aw = "parameter " + name + " is reachable with an unbounded value (" + aw + ")"
+			}
+			bnd, why = joinBnd(bnd, ab, why, aw)
+			return true
+		})
+	}
+	if !found {
+		return bndUnknown, ""
+	}
+	return bnd, why
+}
+
+// paramOwner finds the FuncDecl that declares obj as a parameter and obj's
+// flat index among the parameters (receiver excluded, matching call-site
+// argument positions).
+func (t *valueTracer) paramOwner(obj types.Object) (*ast.FuncDecl, int) {
+	for _, f := range t.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if t.pass.Info.Defs[name] == obj {
+						return fd, idx
+					}
+					idx++
+				}
+				if len(field.Names) == 0 {
+					idx++
+				}
+			}
+		}
+	}
+	return nil, 0
+}
+
+// calleeObj resolves a call's target to its types object (functions and
+// methods alike), or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleeDecl finds the in-package FuncDecl a call targets, or nil.
+func (t *valueTracer) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	obj := calleeObj(t.pass.Info, call)
+	if obj == nil || obj.Pkg() != t.pass.Pkg {
+		return nil
+	}
+	for _, f := range t.pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && t.pass.Info.Defs[fd.Name] == obj {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -13,6 +13,10 @@
 //     loop, or a send the spawner receives.
 //   - hotpathalloc: forbids allocating constructs in functions marked
 //     //genie:hotpath (the zero-allocation protocol paths).
+//   - labelcardinality: label values at metric registration sites must
+//     trace to bounded sources (constants, indices, node identity) — a
+//     wire key or payload interpolated into a label explodes series
+//     cardinality.
 //   - lockscope: every Lock needs a same-function Unlock, and mutexes
 //     marked //genie:nonblocking must not be held across blocking calls.
 //   - netdeadline: in the wire-protocol packages, raw reads and writes
